@@ -1,0 +1,192 @@
+package mbfaa
+
+import (
+	"fmt"
+
+	"mbfaa/internal/core"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/trace"
+)
+
+// Re-exported vocabulary. The facade aliases the internal types so advanced
+// callers can mix facade options with internal constructors.
+type (
+	// Model is one of the four Mobile Byzantine Fault models.
+	Model = mobile.Model
+	// Algorithm is an MSR voting function.
+	Algorithm = msr.Algorithm
+	// Adversary controls agent placement and Byzantine behaviour.
+	Adversary = mobile.Adversary
+	// Result is a completed execution.
+	Result = core.Result
+	// Recorder captures a structured execution trace.
+	Recorder = trace.Recorder
+)
+
+// The four models, in paper order.
+const (
+	M1 = mobile.M1Garay
+	M2 = mobile.M2Bonnet
+	M3 = mobile.M3Sasaki
+	M4 = mobile.M4Buhrman
+)
+
+// Algorithm constructors.
+var (
+	// FTA is the fault-tolerant average (trimmed mean).
+	FTA Algorithm = msr.FTA{}
+	// FTM is the fault-tolerant midpoint.
+	FTM Algorithm = msr.FTM{}
+	// Dolev is the select-every-τ averaging of Dolev et al.
+	Dolev Algorithm = msr.DolevSelect{}
+	// Median is the non-convergent negative control.
+	Median Algorithm = msr.Median{}
+)
+
+// NewTrace returns an empty execution trace recorder for WithTrace.
+func NewTrace() *Recorder { return trace.New() }
+
+// Option configures a run.
+type Option func(*runSpec)
+
+type runSpec struct {
+	cfg        core.Config
+	concurrent bool
+	advName    string
+}
+
+// WithModel selects the fault model. Default: M1.
+func WithModel(m Model) Option { return func(s *runSpec) { s.cfg.Model = m } }
+
+// WithSystem sets the process count n and agent count f.
+func WithSystem(n, f int) Option {
+	return func(s *runSpec) { s.cfg.N, s.cfg.F = n, f }
+}
+
+// WithInputs sets the initial values; their count fixes n unless WithSystem
+// overrides it.
+func WithInputs(values ...float64) Option {
+	return func(s *runSpec) {
+		s.cfg.Inputs = append([]float64(nil), values...)
+		if s.cfg.N == 0 {
+			s.cfg.N = len(values)
+		}
+	}
+}
+
+// WithEpsilon sets the agreement tolerance ε. Default: 1e-6.
+func WithEpsilon(eps float64) Option { return func(s *runSpec) { s.cfg.Epsilon = eps } }
+
+// WithAlgorithm selects the MSR voting function. Default: FTM.
+func WithAlgorithm(a Algorithm) Option { return func(s *runSpec) { s.cfg.Algorithm = a } }
+
+// WithAdversary installs a concrete adversary instance. Stateful
+// adversaries (splitter, greedy) must be fresh per run. Default: rotating.
+func WithAdversary(a Adversary) Option { return func(s *runSpec) { s.cfg.Adversary = a } }
+
+// WithAdversaryName installs a registered adversary by name
+// (crash, greedy, random, rotating, splitter, stationary).
+func WithAdversaryName(name string) Option {
+	return func(s *runSpec) { s.advName = name }
+}
+
+// WithSeed fixes the run's random streams. Default: 0.
+func WithSeed(seed uint64) Option { return func(s *runSpec) { s.cfg.Seed = seed } }
+
+// WithMaxRounds caps the execution. Default: core.DefaultMaxRounds.
+func WithMaxRounds(r int) Option { return func(s *runSpec) { s.cfg.MaxRounds = r } }
+
+// WithFixedRounds runs exactly r rounds instead of halting on diameter.
+func WithFixedRounds(r int) Option { return func(s *runSpec) { s.cfg.FixedRounds = r } }
+
+// WithCheckers enables the Definition 4 / Lemma 5 / Theorem 1 runtime
+// checkers; the report lands in Result.Check.
+func WithCheckers() Option { return func(s *runSpec) { s.cfg.EnableCheckers = true } }
+
+// WithTrace attaches a structured event recorder.
+func WithTrace(rec *Recorder) Option { return func(s *runSpec) { s.cfg.Recorder = rec } }
+
+// WithInitialCured marks processes as cured at round 0 (the lower-bound
+// starting configurations).
+func WithInitialCured(ids ...int) Option {
+	return func(s *runSpec) { s.cfg.InitialCured = append([]int(nil), ids...) }
+}
+
+// WithConcurrentEngine runs the goroutine-per-process engine instead of the
+// deterministic one. Results are bit-identical; the concurrent engine
+// exercises real message passing.
+func WithConcurrentEngine() Option { return func(s *runSpec) { s.concurrent = true } }
+
+// Run executes one approximate-agreement instance and returns its Result.
+func Run(opts ...Option) (*Result, error) {
+	s := runSpec{
+		cfg: core.Config{
+			Model:   M1,
+			Epsilon: 1e-6,
+		},
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if s.cfg.Algorithm == nil {
+		s.cfg.Algorithm = FTM
+	}
+	if s.advName != "" {
+		adv, err := mobile.ByAdversaryName(s.advName)
+		if err != nil {
+			return nil, err
+		}
+		s.cfg.Adversary = adv
+	}
+	if s.cfg.Adversary == nil {
+		s.cfg.Adversary = mobile.NewRotating()
+	}
+	if s.concurrent {
+		return core.RunConcurrent(s.cfg)
+	}
+	return core.Run(s.cfg)
+}
+
+// RequiredN returns the minimal number of processes solving Approximate
+// Agreement with f agents under the model (Table 2): 4f+1, 5f+1, 6f+1,
+// 3f+1.
+func RequiredN(m Model, f int) int { return m.RequiredN(f) }
+
+// MaxFaulty returns the largest agent count n processes tolerate under the
+// model.
+func MaxFaulty(m Model, n int) int { return m.MaxFaulty(n) }
+
+// AlgorithmByName resolves "fta", "ftm", "dolev" or "median".
+func AlgorithmByName(name string) (Algorithm, error) { return msr.ByName(name) }
+
+// AdversaryByName resolves a registered adversary name.
+func AdversaryByName(name string) (Adversary, error) { return mobile.ByAdversaryName(name) }
+
+// Models returns the four models in paper order.
+func Models() []Model { return mobile.AllModels() }
+
+// CheckSystem validates an (n, f, model) combination and explains the
+// bound when it fails.
+func CheckSystem(m Model, n, f int) error {
+	if n > m.Bound(f) {
+		return nil
+	}
+	return fmt.Errorf("mbfaa: n=%d does not exceed the %v bound %df=%d (need n ≥ %d)",
+		n, m, m.Bound(1), m.Bound(f), m.RequiredN(f))
+}
+
+// WorstCase returns the paper's worst-case setup for an (n, f, model)
+// system on the value interval [lo, hi]: a fresh splitter adversary (the
+// two-camp strategy behind the lower-bound theorems), the matching
+// adversarial input assignment, and the initial cured set of the
+// lower-bound starting configuration. Feed all three into Run to reproduce
+// the Table 2 boundary behaviour: frozen diameter at n = bound, worst-case
+// convergence above it.
+func WorstCase(m Model, n, f int, lo, hi float64) (Adversary, []float64, []int, error) {
+	layout, err := mobile.SplitterLayout(m, n, f, lo, hi)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return mobile.NewSplitter(), layout.Inputs(n), layout.InitialCured(m, f), nil
+}

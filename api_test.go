@@ -1,0 +1,231 @@
+package mbfaa_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mbfaa"
+)
+
+func TestRunMinimal(t *testing.T) {
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M2),
+		mbfaa.WithSystem(11, 2),
+		mbfaa.WithInputs(20.1, 20.4, 19.9, 20.0, 20.2, 20.3, 19.8, 20.1, 20.0, 20.2, 19.9),
+		mbfaa.WithEpsilon(0.05),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("doc example did not converge")
+	}
+	if !res.EpsilonAgreement(0.05) {
+		t.Errorf("decision diameter %g > 0.05", res.DecisionDiameter())
+	}
+	if !res.Valid() {
+		t.Error("validity violated")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	// Model defaults to M1, algorithm to FTM, adversary to rotating; n is
+	// inferred from the inputs.
+	inputs := make([]float64, 9) // 9 > 4·2
+	for i := range inputs {
+		inputs[i] = float64(i) / 10
+	}
+	res, err := mbfaa.Run(
+		mbfaa.WithInputs(inputs...),
+		mbfaa.WithSystem(9, 2),
+		mbfaa.WithEpsilon(1e-3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("defaults did not converge")
+	}
+}
+
+func TestRunInfersNFromInputs(t *testing.T) {
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M4),
+		mbfaa.WithInputs(1, 2, 3, 4), // n=4 > 3·1
+		mbfaa.WithEpsilon(0.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Votes); got != 4 {
+		t.Errorf("n inferred as %d, want 4", got)
+	}
+	_ = res
+}
+
+func TestRunConcurrentOptionMatchesDefault(t *testing.T) {
+	mk := func(conc bool) (*mbfaa.Result, error) {
+		opts := []mbfaa.Option{
+			mbfaa.WithModel(mbfaa.M3),
+			mbfaa.WithSystem(13, 2),
+			mbfaa.WithInputs(0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 0.15, 0.25),
+			mbfaa.WithEpsilon(1e-4),
+			mbfaa.WithAdversaryName("random"),
+			mbfaa.WithSeed(5),
+		}
+		if conc {
+			opts = append(opts, mbfaa.WithConcurrentEngine())
+		}
+		return mbfaa.Run(opts...)
+	}
+	det, err := mk(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := mk(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Rounds != conc.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", det.Rounds, conc.Rounds)
+	}
+	for i := range det.Votes {
+		d, c := det.Votes[i], conc.Votes[i]
+		if math.IsNaN(d) != math.IsNaN(c) || (!math.IsNaN(d) && d != c) {
+			t.Errorf("vote %d: %v vs %v", i, d, c)
+		}
+	}
+}
+
+func TestWorstCaseFreezesAtBound(t *testing.T) {
+	for _, model := range mbfaa.Models() {
+		f := 2
+		n := mbfaa.RequiredN(model, f) - 1 // exactly the bound
+		adv, inputs, cured, err := mbfaa.WorstCase(model, n, f, 0, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		res, err := mbfaa.Run(
+			mbfaa.WithModel(model),
+			mbfaa.WithSystem(n, f),
+			mbfaa.WithInputs(inputs...),
+			mbfaa.WithInitialCured(cured...),
+			mbfaa.WithAdversary(adv),
+			mbfaa.WithAlgorithm(mbfaa.FTA),
+			mbfaa.WithEpsilon(1e-3),
+			mbfaa.WithFixedRounds(100),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged {
+			t.Errorf("%v: converged at the bound", model)
+		}
+	}
+}
+
+func TestCheckersOption(t *testing.T) {
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M1),
+		mbfaa.WithSystem(9, 2),
+		mbfaa.WithInputs(0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+		mbfaa.WithEpsilon(1e-3),
+		mbfaa.WithCheckers(),
+		mbfaa.WithAdversaryName("rotating"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check == nil {
+		t.Fatal("checkers enabled but report nil")
+	}
+	if !res.Check.Ok() || !res.Check.Lemma5Holds() {
+		t.Errorf("invariants failed: %+v", res.Check.Violations)
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	rec := mbfaa.NewTrace()
+	_, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M4),
+		mbfaa.WithSystem(4, 1),
+		mbfaa.WithInputs(1, 2, 3, 4),
+		mbfaa.WithEpsilon(0.1),
+		mbfaa.WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Error("trace recorded nothing")
+	}
+	if !strings.Contains(rec.Render(), "round 0") {
+		t.Error("trace render missing round 0")
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	if _, err := mbfaa.AlgorithmByName("fta"); err != nil {
+		t.Error(err)
+	}
+	if _, err := mbfaa.AlgorithmByName("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := mbfaa.AdversaryByName("splitter"); err != nil {
+		t.Error(err)
+	}
+	if _, err := mbfaa.AdversaryByName("bogus"); err == nil {
+		t.Error("bogus adversary accepted")
+	}
+	if got := len(mbfaa.Models()); got != 4 {
+		t.Errorf("Models() = %d entries", got)
+	}
+}
+
+func TestCheckSystem(t *testing.T) {
+	if err := mbfaa.CheckSystem(mbfaa.M1, 9, 2); err != nil {
+		t.Errorf("9 > 8 rejected: %v", err)
+	}
+	err := mbfaa.CheckSystem(mbfaa.M1, 8, 2)
+	if err == nil {
+		t.Fatal("8 = 4·2 accepted")
+	}
+	if !strings.Contains(err.Error(), "9") {
+		t.Errorf("error should name the required n: %v", err)
+	}
+	if mbfaa.MaxFaulty(mbfaa.M2, 11) != 2 {
+		t.Error("MaxFaulty(M2, 11) != 2")
+	}
+	if mbfaa.RequiredN(mbfaa.M3, 2) != 13 {
+		t.Error("RequiredN(M3, 2) != 13")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := mbfaa.Run(); err == nil {
+		t.Error("empty run accepted")
+	}
+	if _, err := mbfaa.Run(
+		mbfaa.WithSystem(5, 1),
+		mbfaa.WithInputs(1, 2), // wrong count
+		mbfaa.WithEpsilon(0.1),
+	); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+	if _, err := mbfaa.Run(
+		mbfaa.WithSystem(5, 1),
+		mbfaa.WithInputs(1, 2, 3, 4, 5),
+		mbfaa.WithEpsilon(-1),
+	); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := mbfaa.Run(
+		mbfaa.WithAdversaryName("bogus"),
+		mbfaa.WithSystem(5, 1),
+		mbfaa.WithInputs(1, 2, 3, 4, 5),
+		mbfaa.WithEpsilon(0.1),
+	); err == nil {
+		t.Error("bogus adversary name accepted")
+	}
+}

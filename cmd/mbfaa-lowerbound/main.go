@@ -1,0 +1,73 @@
+// Command mbfaa-lowerbound replays the paper's impossibility constructions
+// (Theorems 3–6): for each model at n = bound it builds the three-execution
+// indistinguishability scenario, verifies that observer A's E3 multiset
+// equals its E1 multiset (and B's equals E2's), derives the forced
+// disagreement, and then demonstrates the violation on a concrete MSR
+// algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mbfaa/internal/lowerbound"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbfaa-lowerbound: ")
+
+	var (
+		f        = flag.Int("f", 1, "number of mobile Byzantine agents (groups scale with f)")
+		algoName = flag.String("algo", "fta", "algorithm used for the concrete demonstration")
+	)
+	flag.Parse()
+
+	algo, err := msr.ByName(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	theorems := map[mobile.Model]string{
+		mobile.M1Garay:   "Theorem 3",
+		mobile.M2Bonnet:  "Theorem 4",
+		mobile.M3Sasaki:  "Theorem 5",
+		mobile.M4Buhrman: "Theorem 6",
+	}
+
+	allViolated := true
+	for _, model := range mobile.AllModels() {
+		s, err := lowerbound.Build(model, *f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := s.Verify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %v unsolvable at n = %d (f = %d)\n", theorems[model], model, s.N, s.F)
+		fmt.Printf("  observer A: E3 view %v == E1 view %v : %v\n",
+			rep.ViewAE3, rep.ViewAE1, rep.IndistinguishableA)
+		fmt.Printf("  observer B: E3 view %v == E2 view %v : %v\n",
+			rep.ViewBE3, rep.ViewBE2, rep.IndistinguishableB)
+		fmt.Printf("  forced outputs in E3: A→%g, B→%g; input spread %g, output spread %g — agreement violated: %v\n",
+			rep.ForcedA, rep.ForcedB, rep.InputSpreadE3, rep.OutputSpreadE3, rep.Violated)
+
+		outA, outB, err := s.Demonstrate(algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  concrete %s run on E3: A computes %g, B computes %g\n\n", algo.Name(), outA, outB)
+		allViolated = allViolated && rep.Violated
+	}
+
+	if !allViolated {
+		fmt.Println("WARNING: an indistinguishability construction failed to reproduce")
+		os.Exit(1)
+	}
+	fmt.Println("all four lower-bound constructions reproduce the paper's contradictions")
+}

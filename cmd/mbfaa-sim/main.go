@@ -1,0 +1,146 @@
+// Command mbfaa-sim runs a single approximate-agreement execution under a
+// chosen mobile Byzantine model, adversary and algorithm, printing the
+// result, the per-round diameter trajectory, and optionally the full event
+// trace and invariant-checker report.
+//
+// Examples:
+//
+//	mbfaa-sim -model M2 -f 2 -adversary rotating
+//	mbfaa-sim -model M1 -n 8 -f 2 -adversary splitter -worstcase -rounds 50
+//	mbfaa-sim -model M3 -f 1 -algo fta -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mbfaa"
+	"mbfaa/internal/analysis"
+	"mbfaa/internal/prng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbfaa-sim: ")
+
+	var (
+		modelName = flag.String("model", "M1", "fault model: M1, M2, M3, M4")
+		n         = flag.Int("n", 0, "process count (default: model minimum for f)")
+		f         = flag.Int("f", 1, "number of mobile Byzantine agents")
+		algoName  = flag.String("algo", "ftm", "algorithm: fta, ftm, dolev, median")
+		advName   = flag.String("adversary", "rotating", "adversary: crash, greedy, random, rotating, splitter, stationary")
+		eps       = flag.Float64("eps", 1e-3, "agreement tolerance ε")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		rounds    = flag.Int("rounds", 0, "fixed round count (0: run until diameter ≤ ε)")
+		maxRounds = flag.Int("max-rounds", 400, "round cap for dynamic halting")
+		worstcase = flag.Bool("worstcase", false, "use the paper's adversarial inputs and starting configuration")
+		checkers  = flag.Bool("checkers", true, "run the Definition 4 / Theorem 1 invariant checkers")
+		showTrace = flag.Bool("trace", false, "print the full event trace")
+		spark     = flag.Bool("spark", true, "print the diameter sparkline")
+	)
+	flag.Parse()
+
+	model, err := modelByShort(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *n == 0 {
+		*n = mbfaa.RequiredN(model, *f)
+	}
+	algo, err := mbfaa.AlgorithmByName(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []mbfaa.Option{
+		mbfaa.WithModel(model),
+		mbfaa.WithSystem(*n, *f),
+		mbfaa.WithEpsilon(*eps),
+		mbfaa.WithAlgorithm(algo),
+		mbfaa.WithSeed(*seed),
+		mbfaa.WithMaxRounds(*maxRounds),
+	}
+	if *rounds > 0 {
+		opts = append(opts, mbfaa.WithFixedRounds(*rounds))
+	}
+	if *checkers {
+		opts = append(opts, mbfaa.WithCheckers())
+	}
+	rec := mbfaa.NewTrace()
+	if *showTrace {
+		opts = append(opts, mbfaa.WithTrace(rec))
+	}
+
+	if *worstcase {
+		adv, inputs, cured, err := mbfaa.WorstCase(model, *n, *f, 0, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts,
+			mbfaa.WithAdversary(adv),
+			mbfaa.WithInputs(inputs...),
+			mbfaa.WithInitialCured(cured...),
+		)
+		if *advName != "rotating" && *advName != "splitter" {
+			log.Printf("note: -worstcase overrides -adversary %s with the splitter", *advName)
+		}
+	} else {
+		inputs := make([]float64, *n)
+		rng := prng.New(*seed)
+		for i := range inputs {
+			inputs[i] = rng.Range(0, 1)
+		}
+		opts = append(opts,
+			mbfaa.WithAdversaryName(*advName),
+			mbfaa.WithInputs(inputs...),
+		)
+	}
+
+	res, err := mbfaa.Run(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	adversaryLabel := *advName
+	if *worstcase {
+		adversaryLabel = "splitter(worstcase)"
+	}
+	bound := model.Bound(*f)
+	fmt.Printf("model=%v n=%d f=%d (bound n>%d: %v) algo=%s adversary=%s seed=%d\n",
+		model, *n, *f, bound, *n > bound, *algoName, adversaryLabel, *seed)
+	fmt.Printf("converged=%v rounds=%d final-diameter=%.6g decision-diameter=%.6g validity=%v\n",
+		res.Converged, res.Rounds, res.FinalDiameter(), res.DecisionDiameter(), res.Valid())
+	if *spark {
+		fmt.Printf("diameter trajectory: %s (initial %.4g)\n",
+			analysis.Sparkline(res.DiameterSeries), res.DiameterSeries[0])
+	}
+	if res.Check != nil {
+		fmt.Printf("invariants: rounds-checked=%d ok=%v lemma5=%v violations=%d\n",
+			res.Check.RoundsChecked, res.Check.Ok(), res.Check.Lemma5Holds(), len(res.Check.Violations))
+		for i, v := range res.Check.Violations {
+			if i >= 10 {
+				fmt.Printf("  … %d more\n", len(res.Check.Violations)-10)
+				break
+			}
+			fmt.Printf("  %v\n", v)
+		}
+	}
+	if *showTrace {
+		fmt.Print(rec.Render())
+	}
+	if !res.Converged && *rounds == 0 {
+		os.Exit(1)
+	}
+}
+
+func modelByShort(s string) (mbfaa.Model, error) {
+	for _, m := range mbfaa.Models() {
+		if strings.EqualFold(m.Short(), s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model %q (have M1, M2, M3, M4)", s)
+}

@@ -1,0 +1,118 @@
+// Command mbfaa-sweep runs parameter sweeps around the replica bounds and
+// emits CSV (for plotting) or a text table. It is the batch companion of
+// mbfaa-tables: where mbfaa-tables regenerates the fixed paper artifacts,
+// mbfaa-sweep explores custom grids.
+//
+// Examples:
+//
+//	mbfaa-sweep -models M1,M2 -f 1,2,3 -algo fta -format csv
+//	mbfaa-sweep -models M4 -f 2 -width 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbfaa-sweep: ")
+
+	var (
+		modelsFlag = flag.String("models", "M1,M2,M3,M4", "comma-separated models")
+		fsFlag     = flag.String("f", "1,2", "comma-separated agent counts")
+		algoName   = flag.String("algo", "fta", "algorithm: fta, ftm, dolev, median")
+		width      = flag.Int("width", 0, "probe n from bound to bound+width (default 2f per point)")
+		format     = flag.String("format", "table", "output format: table or csv")
+		eps        = flag.Float64("eps", 1e-3, "agreement tolerance")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	models, err := parseModels(*modelsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := parseInts(*fsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algo, err := msr.ByName(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := sweep.DefaultOptions()
+	opt.Epsilon = *eps
+	opt.Seed = *seed
+
+	res, err := sweep.Table2(fs, algo, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keep := make(map[mobile.Model]bool, len(models))
+	for _, m := range models {
+		keep[m] = true
+	}
+	cells := res.Cells[:0]
+	for _, c := range res.Cells {
+		if keep[c.Model] && (*width == 0 || c.N <= c.Model.Bound(c.F)+*width) {
+			cells = append(cells, c)
+		}
+	}
+	res.Cells = cells
+
+	switch *format {
+	case "csv":
+		fmt.Println("model,f,n,above_bound,converged,rounds,final_diameter")
+		for _, c := range res.Cells {
+			fmt.Printf("%s,%d,%d,%v,%v,%d,%g\n",
+				c.Model.Short(), c.F, c.N, c.AboveBound, c.Converged, c.Rounds, c.FinalDiameter)
+		}
+	case "table":
+		fmt.Print(res.Render())
+	default:
+		log.Fatalf("unknown format %q (have table, csv)", *format)
+	}
+}
+
+func parseModels(s string) ([]mobile.Model, error) {
+	var out []mobile.Model
+	for _, part := range strings.Split(s, ",") {
+		m, err := mobile.ByName(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no models given")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("agent count %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no agent counts given")
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+// Package mbfaa is a reproduction of "Approximate Agreement under Mobile
+// Byzantine Faults" (Bonomi, Del Pozzo, Potop-Butucaru, Tixeuil — ICDCS
+// 2016): Mean-Subsequence-Reduce (MSR) approximate agreement running under
+// the four synchronous Mobile Byzantine Fault models, with the paper's
+// replica bounds (Table 2), the mobile→mixed-mode fault mapping (Table 1),
+// runtime checkers for its correctness theorems, executable versions of its
+// lower-bound constructions, and a full experiment harness.
+//
+// The package is a facade over the internal engine. A minimal run:
+//
+//	res, err := mbfaa.Run(
+//		mbfaa.WithModel(mbfaa.M2),
+//		mbfaa.WithSystem(11, 2), // n = 11 > 5f = 10
+//		mbfaa.WithInputs(20.1, 20.4, 19.9, 20.0, 20.2, 20.3, 19.8, 20.1, 20.0, 20.2, 19.9),
+//		mbfaa.WithEpsilon(0.05),
+//	)
+//
+// Every non-faulty process decides a value; decisions are within ε of each
+// other (ε-Agreement) and inside the range of correct inputs (Validity),
+// provided n exceeds the model's bound: 4f (M1/Garay), 5f (M2/Bonnet),
+// 6f (M3/Sasaki), 3f (M4/Buhrman).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and the examples/ directory for runnable
+// scenarios (sensor fusion, clock synchronization, robot gathering).
+package mbfaa

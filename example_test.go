@@ -1,0 +1,100 @@
+package mbfaa_test
+
+import (
+	"fmt"
+
+	"mbfaa"
+)
+
+// The basic flow: configure a system above the model's replica bound, run,
+// read the decisions.
+func ExampleRun() {
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M4), // Buhrman: agents move with messages
+		mbfaa.WithSystem(7, 2),    // n = 7 > 3f = 6
+		mbfaa.WithInputs(1.0, 1.2, 0.8, 1.1, 0.9, 1.05, 0.95),
+		mbfaa.WithEpsilon(0.01),
+		mbfaa.WithAlgorithm(mbfaa.FTM),
+		mbfaa.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged=%v within-eps=%v valid=%v\n",
+		res.Converged, res.EpsilonAgreement(0.01), res.Valid())
+	// Output:
+	// converged=true within-eps=true valid=true
+}
+
+// CheckSystem explains the Table 2 bound when a deployment is undersized.
+func ExampleCheckSystem() {
+	fmt.Println(mbfaa.CheckSystem(mbfaa.M2, 11, 2)) // 11 > 5·2
+	fmt.Println(mbfaa.CheckSystem(mbfaa.M2, 10, 2)) // 10 = 5·2: too small
+	// Output:
+	// <nil>
+	// mbfaa: n=10 does not exceed the M2 (Bonnet et al.) bound 5f=10 (need n ≥ 11)
+}
+
+// WorstCase reproduces the paper's lower-bound configuration: at n = bound
+// the two-camp adversary freezes the diameter forever.
+func ExampleWorstCase() {
+	const n, f = 8, 2 // n = 4f: exactly M1's bound
+	adv, inputs, cured, err := mbfaa.WorstCase(mbfaa.M1, n, f, 0, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M1),
+		mbfaa.WithSystem(n, f),
+		mbfaa.WithInputs(inputs...),
+		mbfaa.WithInitialCured(cured...),
+		mbfaa.WithAdversary(adv),
+		mbfaa.WithAlgorithm(mbfaa.FTA),
+		mbfaa.WithEpsilon(1e-3),
+		mbfaa.WithFixedRounds(100),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged=%v final-diameter=%v\n", res.Converged, res.FinalDiameter())
+	// Output:
+	// converged=false final-diameter=1
+}
+
+// RequiredN is Table 2 as a function.
+func ExampleRequiredN() {
+	for _, m := range mbfaa.Models() {
+		fmt.Printf("%s: n > %d·f, so f=2 needs n ≥ %d\n",
+			m.Short(), m.Bound(1), mbfaa.RequiredN(m, 2))
+	}
+	// Output:
+	// M1: n > 4·f, so f=2 needs n ≥ 9
+	// M2: n > 5·f, so f=2 needs n ≥ 11
+	// M3: n > 6·f, so f=2 needs n ≥ 13
+	// M4: n > 3·f, so f=2 needs n ≥ 7
+}
+
+// The invariant checkers turn the paper's Theorem 1 into a runtime
+// assertion.
+func ExampleRun_checkers() {
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M3),
+		mbfaa.WithSystem(13, 2),
+		mbfaa.WithInputs(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),
+		mbfaa.WithEpsilon(0.01),
+		mbfaa.WithAdversaryName("rotating"),
+		mbfaa.WithCheckers(),
+		mbfaa.WithSeed(3),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("invariants-ok=%v lemma5=%v violations=%d\n",
+		res.Check.Ok(), res.Check.Lemma5Holds(), len(res.Check.Violations))
+	// Output:
+	// invariants-ok=true lemma5=true violations=0
+}

@@ -1,0 +1,44 @@
+// Command clocksync keeps a fleet of drifting clocks synchronized through
+// periodic approximate agreement while mobile Byzantine agents corrupt a
+// changing subset of nodes — the paper's clock-synchronization motivation
+// made concrete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbfaa"
+	"mbfaa/internal/clocksync"
+	"mbfaa/internal/mobile"
+)
+
+func main() {
+	cfg := clocksync.Config{
+		N:            13, // > 4f under M1 with room to spare
+		F:            3,
+		Model:        mbfaa.M1,
+		Algorithm:    mbfaa.FTM,
+		NewAdversary: func() mobile.Adversary { return mobile.NewRotating() },
+		Epsilon:      0.002, // 2 ms target dispersion
+		MaxOffset:    0.5,   // clocks start up to ±500 ms apart
+		MaxDriftPPM:  200,   // cheap oscillators
+		EpochSeconds: 10,
+		Epochs:       8,
+		Seed:         2025,
+	}
+	rep, err := clocksync.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clock synchronization: n=%d f=%d model=%v ε=%.0fms\n",
+		cfg.N, cfg.F, cfg.Model, cfg.Epsilon*1e3)
+	fmt.Printf("%-6s %14s %14s %8s\n", "epoch", "pre-sync (ms)", "post-sync (ms)", "rounds")
+	for _, e := range rep.Epochs {
+		fmt.Printf("%-6d %14.3f %14.3f %8d\n",
+			e.Epoch, e.PreDispersion*1e3, e.PostDispersion*1e3, e.Rounds)
+	}
+	fmt.Printf("worst post-sync dispersion %.3f ms; bounded by ε: %v\n",
+		rep.MaxPostDispersion*1e3, rep.Bounded(cfg.Epsilon))
+}

@@ -1,0 +1,42 @@
+// Command quickstart is the smallest possible use of the library: eleven
+// processes with nearby sensor readings reach ε-agreement under the Bonnet
+// et al. mobile fault model (M2) with two Byzantine agents in flight.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbfaa"
+)
+
+func main() {
+	const (
+		n = 11 // n > 5f under M2
+		f = 2
+	)
+	if err := mbfaa.CheckSystem(mbfaa.M2, n, f); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M2),
+		mbfaa.WithSystem(n, f),
+		mbfaa.WithInputs(20.1, 20.4, 19.9, 20.0, 20.2, 20.3, 19.8, 20.1, 20.0, 20.2, 19.9),
+		mbfaa.WithEpsilon(0.05),
+		mbfaa.WithAlgorithm(mbfaa.FTM),
+		mbfaa.WithAdversaryName("rotating"),
+		mbfaa.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged=%v after %d rounds\n", res.Converged, res.Rounds)
+	ids, values := res.Decisions()
+	for k, id := range ids {
+		fmt.Printf("  p%-2d decided %.4f\n", id, values[k])
+	}
+	fmt.Printf("decision diameter %.4g (ε=0.05), validity=%v\n",
+		res.DecisionDiameter(), res.Valid())
+}

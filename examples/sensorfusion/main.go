@@ -1,0 +1,87 @@
+// Command sensorfusion models the paper's sensor-network motivation: a
+// field of temperature sensors fuses readings into one agreed value while
+// an intermittent perturbation (a mobile Byzantine agent set) sweeps the
+// field corrupting different sensors each round.
+//
+// The demo runs the same fusion under all four mobility models at each
+// model's minimal safe size, printing the rounds and agreed band, and then
+// shows what goes wrong one sensor below the bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbfaa"
+	"mbfaa/internal/prng"
+)
+
+func main() {
+	const (
+		f         = 2
+		epsilon   = 0.01
+		trueTemp  = 21.7
+		noiseBand = 0.3
+	)
+	rng := prng.New(7)
+
+	fmt.Println("sensor fusion under mobile Byzantine perturbations (f=2, ε=0.01°C)")
+	for _, model := range mbfaa.Models() {
+		n := mbfaa.RequiredN(model, f)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = trueTemp + rng.Range(-noiseBand, noiseBand)
+		}
+		res, err := mbfaa.Run(
+			mbfaa.WithModel(model),
+			mbfaa.WithSystem(n, f),
+			mbfaa.WithInputs(inputs...),
+			mbfaa.WithEpsilon(epsilon),
+			mbfaa.WithAlgorithm(mbfaa.FTA),
+			mbfaa.WithAdversaryName("rotating"),
+			mbfaa.WithSeed(99),
+			mbfaa.WithCheckers(),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids, values := res.Decisions()
+		lo, hi := values[0], values[0]
+		for _, v := range values[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Printf("  %-22s n=%-3d rounds=%-3d fused=[%.4f, %.4f]°C  sensors=%d  invariants=%v\n",
+			model, n, res.Rounds, lo, hi, len(ids), res.Check.Ok())
+	}
+
+	// One sensor short of the bound: the worst-case adversary holds two
+	// sensor camps apart forever, starting from the paper's lower-bound
+	// configuration (camped readings plus a cured cohort).
+	fmt.Println("\nsame fusion at n = 5f (one sensor short) under M2, worst-case adversary:")
+	n := mbfaa.RequiredN(mbfaa.M2, f) - 1
+	adv, inputs, cured, err := mbfaa.WorstCase(mbfaa.M2, n, f, trueTemp-noiseBand, trueTemp+noiseBand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mbfaa.Run(
+		mbfaa.WithModel(mbfaa.M2),
+		mbfaa.WithSystem(n, f),
+		mbfaa.WithInputs(inputs...),
+		mbfaa.WithInitialCured(cured...),
+		mbfaa.WithEpsilon(epsilon),
+		mbfaa.WithAlgorithm(mbfaa.FTA),
+		mbfaa.WithAdversary(adv),
+		mbfaa.WithFixedRounds(100),
+		mbfaa.WithSeed(99),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  converged=%v after %d rounds; residual disagreement %.3f°C — Table 2's bound is tight\n",
+		res.Converged, res.Rounds, res.DecisionDiameter())
+}

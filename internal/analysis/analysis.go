@@ -1,0 +1,177 @@
+// Package analysis computes convergence statistics over the per-round
+// diameter series an execution produces: empirical contraction factors,
+// rounds-to-ε, and geometric-decay diagnostics. It backs the derived
+// figures F1–F3 of the experiment suite.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShortSeries is returned when a statistic needs more data points than
+// the series holds.
+var ErrShortSeries = errors.New("analysis: series too short")
+
+// Series is a per-round diameter trajectory: Series[0] is the initial
+// correct diameter, Series[k+1] the diameter after round k.
+type Series []float64
+
+// Validate rejects series containing NaN or negative entries.
+func (s Series) Validate() error {
+	for i, v := range s {
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("analysis: series[%d]=%v is not a diameter", i, v)
+		}
+	}
+	return nil
+}
+
+// Final returns the last entry, or 0 for an empty series.
+func (s Series) Final() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// RoundsToEpsilon returns the first round index k (1-based count of rounds
+// executed) at which the diameter is ≤ eps, or ok=false if the series never
+// gets there. Index 0 (the initial diameter) counts as 0 rounds.
+func (s Series) RoundsToEpsilon(eps float64) (rounds int, ok bool) {
+	for i, v := range s {
+		if v <= eps {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ContractionFactors returns the per-round ratios d[k+1]/d[k], skipping
+// steps whose starting diameter is 0 (converged: nothing to contract).
+func (s Series) ContractionFactors() []float64 {
+	var out []float64
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == 0 {
+			continue
+		}
+		out = append(out, s[i+1]/s[i])
+	}
+	return out
+}
+
+// WorstContraction returns the largest per-round ratio — the empirical
+// counterpart of an algorithm's guaranteed contraction factor. It returns
+// ErrShortSeries when no ratio is defined.
+func (s Series) WorstContraction() (float64, error) {
+	fs := s.ContractionFactors()
+	if len(fs) == 0 {
+		return 0, ErrShortSeries
+	}
+	worst := fs[0]
+	for _, f := range fs[1:] {
+		worst = math.Max(worst, f)
+	}
+	return worst, nil
+}
+
+// MeanContraction returns the geometric mean of the per-round ratios,
+// ignoring zero ratios (exact convergence steps, whose log is −∞). It
+// returns ErrShortSeries when no positive ratio is defined.
+func (s Series) MeanContraction() (float64, error) {
+	var logSum float64
+	var count int
+	for _, f := range s.ContractionFactors() {
+		if f <= 0 {
+			continue
+		}
+		logSum += math.Log(f)
+		count++
+	}
+	if count == 0 {
+		return 0, ErrShortSeries
+	}
+	return math.Exp(logSum / float64(count)), nil
+}
+
+// Frozen reports whether the series stopped contracting: every entry from
+// index `after` on equals the entry at `after` (within rel tolerance).
+// The lower-bound experiments assert Frozen(1): after the first round the
+// splitter holds the diameter forever.
+func (s Series) Frozen(after int, rel float64) bool {
+	if after >= len(s) {
+		return false
+	}
+	base := s[after]
+	for _, v := range s[after:] {
+		if math.Abs(v-base) > rel*math.Max(1, math.Abs(base)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary aggregates the headline statistics of one series.
+type Summary struct {
+	Initial, Final   float64
+	Rounds           int
+	RoundsToEps      int
+	ReachedEps       bool
+	WorstContraction float64
+	MeanContraction  float64
+}
+
+// Summarize computes a Summary against the given eps. Contraction fields
+// are NaN when undefined (series too short or never contracting).
+func Summarize(s Series, eps float64) (Summary, error) {
+	if err := s.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if len(s) == 0 {
+		return Summary{}, ErrShortSeries
+	}
+	sum := Summary{
+		Initial: s[0],
+		Final:   s.Final(),
+		Rounds:  len(s) - 1,
+	}
+	sum.RoundsToEps, sum.ReachedEps = s.RoundsToEpsilon(eps)
+	if w, err := s.WorstContraction(); err == nil {
+		sum.WorstContraction = w
+	} else {
+		sum.WorstContraction = math.NaN()
+	}
+	if m, err := s.MeanContraction(); err == nil {
+		sum.MeanContraction = m
+	} else {
+		sum.MeanContraction = math.NaN()
+	}
+	return sum, nil
+}
+
+// Sparkline renders the series as a compact unicode bar chart, normalised
+// to the series maximum — the text-figure device used by cmd/mbfaa-tables.
+func Sparkline(s Series) string {
+	if len(s) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, v := range s {
+		max = math.Max(max, v)
+	}
+	var b strings.Builder
+	for _, v := range s {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(bars)-1))
+			if idx >= len(bars) {
+				idx = len(bars) - 1
+			}
+		}
+		b.WriteRune(bars[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Series{1, 0.5, 0.25}).Validate(); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+	if err := (Series{1, math.NaN()}).Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := (Series{1, -0.5}).Validate(); err == nil {
+		t.Error("negative diameter accepted")
+	}
+}
+
+func TestRoundsToEpsilon(t *testing.T) {
+	s := Series{1, 0.5, 0.25, 0.1}
+	if r, ok := s.RoundsToEpsilon(0.3); !ok || r != 2 {
+		t.Errorf("RoundsToEpsilon(0.3) = %d, %v; want 2, true", r, ok)
+	}
+	if r, ok := s.RoundsToEpsilon(2); !ok || r != 0 {
+		t.Errorf("already within: %d, %v", r, ok)
+	}
+	if _, ok := s.RoundsToEpsilon(0.01); ok {
+		t.Error("unreached epsilon reported ok")
+	}
+}
+
+func TestContractionFactors(t *testing.T) {
+	s := Series{1, 0.5, 0.25}
+	fs := s.ContractionFactors()
+	if len(fs) != 2 || fs[0] != 0.5 || fs[1] != 0.5 {
+		t.Errorf("factors = %v", fs)
+	}
+	// A zero step is skipped, not a division by zero.
+	z := Series{1, 0, 0}
+	if got := z.ContractionFactors(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("factors across zero = %v", got)
+	}
+}
+
+func TestWorstAndMeanContraction(t *testing.T) {
+	s := Series{1, 0.5, 0.4}
+	w, err := s.WorstContraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0.8 {
+		t.Errorf("worst = %v, want 0.8", w)
+	}
+	m, err := s.MeanContraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-math.Sqrt(0.4)) > 1e-12 {
+		t.Errorf("mean = %v, want sqrt(0.4)", m)
+	}
+	if _, err := (Series{1}).WorstContraction(); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("short series err = %v", err)
+	}
+	if _, err := (Series{0, 0}).MeanContraction(); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("all-zero series err = %v", err)
+	}
+}
+
+func TestFrozen(t *testing.T) {
+	if !(Series{1, 0.5, 0.5, 0.5}).Frozen(1, 1e-9) {
+		t.Error("frozen tail not detected")
+	}
+	if (Series{1, 0.5, 0.25}).Frozen(1, 1e-9) {
+		t.Error("contracting series reported frozen")
+	}
+	if (Series{1}).Frozen(5, 1e-9) {
+		t.Error("after beyond length reported frozen")
+	}
+	if !(Series{1, 1, 1 + 1e-12}).Frozen(0, 1e-9) {
+		t.Error("tolerance not applied")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Series{1, 0.5, 0.25, 0.0005}
+	sum, err := Summarize(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Initial != 1 || sum.Final != 0.0005 || sum.Rounds != 3 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if !sum.ReachedEps || sum.RoundsToEps != 3 {
+		t.Errorf("eps fields = %+v", sum)
+	}
+	if _, err := Summarize(Series{}, 1e-3); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("empty series err = %v", err)
+	}
+	if _, err := Summarize(Series{math.NaN()}, 1e-3); err == nil {
+		t.Error("NaN series accepted")
+	}
+	// A one-point series has no contraction data: NaN fields, no error.
+	one, err := Summarize(Series{2}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(one.WorstContraction) || !math.IsNaN(one.MeanContraction) {
+		t.Errorf("one-point contraction = %+v", one)
+	}
+}
+
+func TestFinal(t *testing.T) {
+	if (Series{}).Final() != 0 {
+		t.Error("empty Final != 0")
+	}
+	if (Series{3, 2}).Final() != 2 {
+		t.Error("Final wrong")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(Series{}); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := Sparkline(Series{1, 0.5, 0})
+	if len([]rune(got)) != 3 {
+		t.Errorf("sparkline %q has %d runes, want 3", got, len([]rune(got)))
+	}
+	runes := []rune(got)
+	if runes[0] != '█' || runes[2] != '▁' {
+		t.Errorf("sparkline %q should start full and end empty", got)
+	}
+	// All-zero series renders at the floor instead of dividing by zero.
+	flat := []rune(Sparkline(Series{0, 0}))
+	if flat[0] != '▁' || flat[1] != '▁' {
+		t.Errorf("flat sparkline = %q", string(flat))
+	}
+}
+
+// Property: a geometric series with ratio c reports worst ≈ mean ≈ c.
+func TestQuickGeometricSeries(t *testing.T) {
+	f := func(cRaw uint8, nRaw uint8) bool {
+		c := 0.1 + 0.8*float64(cRaw)/255 // in [0.1, 0.9]
+		n := int(nRaw)%20 + 2
+		s := make(Series, n)
+		s[0] = 1
+		for i := 1; i < n; i++ {
+			s[i] = s[i-1] * c
+		}
+		w, err := s.WorstContraction()
+		if err != nil {
+			return false
+		}
+		m, err := s.MeanContraction()
+		if err != nil {
+			return false
+		}
+		return math.Abs(w-c) < 1e-9 && math.Abs(m-c) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package clocksync builds the paper's first motivating application
+// (§1: "synchronizing clocks in large scale sensor networks"): n nodes
+// with drifting hardware clocks repeatedly run approximate agreement over
+// their clock readings to keep their virtual clocks within ε of each
+// other despite mobile Byzantine faults.
+//
+// Each epoch, every node reads its hardware clock, the cluster runs one MSR
+// agreement instance over the readings, and every non-faulty node adopts
+// the decided value as its virtual clock (the classical "adjust by the
+// agreed offset" scheme of Welch–Lynch, with the fault-tolerant midpoint as
+// the natural algorithm choice). Between epochs the clocks drift apart
+// again; the resynchronization keeps the dispersion bounded.
+package clocksync
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/core"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/prng"
+)
+
+// Clock models a drifting hardware clock: Read(t) = Offset + (1+Drift)·t,
+// with t the real time in seconds.
+type Clock struct {
+	// Offset is the initial phase error in seconds.
+	Offset float64
+	// Drift is the frequency error (dimensionless, e.g. 50e-6 = 50 ppm).
+	Drift float64
+}
+
+// Read returns the clock's value at real time t.
+func (c Clock) Read(t float64) float64 { return c.Offset + (1+c.Drift)*t }
+
+// Config parameterizes a synchronization experiment.
+type Config struct {
+	// N nodes, F mobile agents, under Model.
+	N, F  int
+	Model mobile.Model
+	// Algorithm is the MSR voting function (FTM is the classical choice).
+	Algorithm msr.Algorithm
+	// Adversary drives the agents during each agreement instance.
+	// Stateful adversaries are rebuilt per epoch via the factory.
+	NewAdversary func() mobile.Adversary
+	// Epsilon is the target dispersion in seconds.
+	Epsilon float64
+	// MaxOffset bounds the initial phase errors (seconds); MaxDriftPPM
+	// bounds the frequency errors (parts per million).
+	MaxOffset   float64
+	MaxDriftPPM float64
+	// EpochSeconds is the resynchronization period; Epochs the number of
+	// periods simulated.
+	EpochSeconds float64
+	Epochs       int
+	// Seed drives clock generation and the adversary.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0 || c.F < 0:
+		return fmt.Errorf("clocksync: invalid sizes n=%d f=%d", c.N, c.F)
+	case !c.Model.Valid():
+		return fmt.Errorf("clocksync: invalid model")
+	case c.Algorithm == nil || c.NewAdversary == nil:
+		return fmt.Errorf("clocksync: nil algorithm or adversary factory")
+	case c.Epsilon <= 0:
+		return fmt.Errorf("clocksync: epsilon must be positive")
+	case c.MaxOffset <= 0 || c.MaxDriftPPM < 0:
+		return fmt.Errorf("clocksync: need positive offset bound")
+	case c.EpochSeconds <= 0 || c.Epochs <= 0:
+		return fmt.Errorf("clocksync: need positive epoch length and count")
+	}
+	return nil
+}
+
+// EpochReport records one resynchronization.
+type EpochReport struct {
+	Epoch int
+	// PreDispersion is the max pairwise difference of non-faulty virtual
+	// clocks just before resync; PostDispersion just after.
+	PreDispersion, PostDispersion float64
+	// Rounds is the agreement round count.
+	Rounds    int
+	Converged bool
+}
+
+// Report is the outcome of a full experiment.
+type Report struct {
+	Epochs []EpochReport
+	// MaxPostDispersion is the worst post-resync dispersion across epochs
+	// — the quantity the application guarantees stays ≤ ε.
+	MaxPostDispersion float64
+}
+
+// Bounded reports whether every resynchronization brought the dispersion
+// within eps.
+func (r *Report) Bounded(eps float64) bool {
+	if len(r.Epochs) == 0 {
+		return false
+	}
+	for _, e := range r.Epochs {
+		if !e.Converged || e.PostDispersion > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates the drifting clocks through the configured epochs.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := prng.New(cfg.Seed)
+	clocks := make([]Clock, cfg.N)
+	for i := range clocks {
+		clocks[i] = Clock{
+			Offset: rng.Range(-cfg.MaxOffset, cfg.MaxOffset),
+			Drift:  rng.Range(-cfg.MaxDriftPPM, cfg.MaxDriftPPM) * 1e-6,
+		}
+	}
+	// corrections[i] maps hardware time to virtual time additively.
+	corrections := make([]float64, cfg.N)
+
+	rep := &Report{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		t := float64(epoch+1) * cfg.EpochSeconds
+		readings := make([]float64, cfg.N)
+		for i, c := range clocks {
+			readings[i] = c.Read(t) + corrections[i]
+		}
+
+		agreeCfg := core.Config{
+			Model:     cfg.Model,
+			N:         cfg.N,
+			F:         cfg.F,
+			Algorithm: cfg.Algorithm,
+			Adversary: cfg.NewAdversary(),
+			Inputs:    readings,
+			Epsilon:   cfg.Epsilon,
+			Seed:      cfg.Seed + uint64(epoch) + 1,
+		}
+		res, err := core.Run(agreeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("clocksync: epoch %d: %w", epoch, err)
+		}
+
+		er := EpochReport{
+			Epoch:          epoch,
+			PreDispersion:  dispersion(readings, res.Decided),
+			Rounds:         res.Rounds,
+			Converged:      res.Converged,
+			PostDispersion: res.DecisionDiameter(),
+		}
+		// Non-faulty nodes adopt the agreed virtual time; nodes faulty at
+		// decision time keep their old correction and re-enter the next
+		// epoch (their next reading is off, but the next agreement's
+		// validity confines the decision to the range of correct clocks).
+		for i, ok := range res.Decided {
+			if ok && !math.IsNaN(res.Votes[i]) {
+				corrections[i] += res.Votes[i] - readings[i]
+			}
+		}
+		rep.Epochs = append(rep.Epochs, er)
+		rep.MaxPostDispersion = math.Max(rep.MaxPostDispersion, er.PostDispersion)
+	}
+	return rep, nil
+}
+
+// dispersion returns the max pairwise difference over the marked entries.
+func dispersion(values []float64, include []bool) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	count := 0
+	for i, v := range values {
+		if include != nil && !include[i] {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		count++
+	}
+	if count < 2 {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,134 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:            13,
+		F:            3,
+		Model:        mobile.M1Garay,
+		Algorithm:    msr.FTM{},
+		NewAdversary: func() mobile.Adversary { return mobile.NewRotating() },
+		Epsilon:      0.002,
+		MaxOffset:    0.5,
+		MaxDriftPPM:  200,
+		EpochSeconds: 10,
+		Epochs:       5,
+		Seed:         1,
+	}
+}
+
+func TestClockRead(t *testing.T) {
+	c := Clock{Offset: 0.1, Drift: 50e-6}
+	if got := c.Read(0); got != 0.1 {
+		t.Errorf("Read(0) = %v", got)
+	}
+	if got := c.Read(100); math.Abs(got-100.105) > 1e-9 {
+		t.Errorf("Read(100) = %v, want 100.105", got)
+	}
+}
+
+func TestSynchronizationBoundsDispersion(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		cfg := baseConfig()
+		cfg.Model = model
+		cfg.N = model.RequiredN(cfg.F) + 2
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !rep.Bounded(cfg.Epsilon) {
+			t.Errorf("%v: dispersion not bounded: max post %g, epochs %+v",
+				model, rep.MaxPostDispersion, rep.Epochs)
+		}
+		if len(rep.Epochs) != cfg.Epochs {
+			t.Errorf("%v: %d epoch reports, want %d", model, len(rep.Epochs), cfg.Epochs)
+		}
+	}
+}
+
+func TestResyncBeatsDrift(t *testing.T) {
+	cfg := baseConfig()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first epoch starts with offsets up to ±MaxOffset: pre-sync
+	// dispersion is large; post-sync must collapse it by orders of
+	// magnitude.
+	first := rep.Epochs[0]
+	if first.PreDispersion < 0.1 {
+		t.Skipf("seed produced unusually tight initial clocks: %g", first.PreDispersion)
+	}
+	if first.PostDispersion > first.PreDispersion/10 {
+		t.Errorf("first resync only %g → %g", first.PreDispersion, first.PostDispersion)
+	}
+	// Later epochs start from drift alone. A node faulty at decision time
+	// misses that epoch's resync and drifts for one more epoch, so the
+	// steady-state pre-sync dispersion is bounded by two epochs of
+	// two-sided drift plus two agreement tolerances.
+	maxDrift := 2 * (2 * cfg.MaxDriftPPM * 1e-6 * cfg.EpochSeconds)
+	for _, e := range rep.Epochs[2:] {
+		if e.PreDispersion > maxDrift+2*cfg.Epsilon+1e-9 {
+			t.Errorf("epoch %d pre-sync dispersion %g exceeds drift budget %g",
+				e.Epoch, e.PreDispersion, maxDrift+2*cfg.Epsilon)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxPostDispersion != b.MaxPostDispersion {
+		t.Error("same config+seed produced different results")
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i] != b.Epochs[i] {
+			t.Errorf("epoch %d differs: %+v vs %+v", i, a.Epochs[i], b.Epochs[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.F = -1 },
+		func(c *Config) { c.Model = 0 },
+		func(c *Config) { c.Algorithm = nil },
+		func(c *Config) { c.NewAdversary = nil },
+		func(c *Config) { c.Epsilon = 0 },
+		func(c *Config) { c.MaxOffset = 0 },
+		func(c *Config) { c.EpochSeconds = 0 },
+		func(c *Config) { c.Epochs = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBoundedEdgeCases(t *testing.T) {
+	empty := &Report{}
+	if empty.Bounded(1) {
+		t.Error("empty report should not be bounded")
+	}
+	r := &Report{Epochs: []EpochReport{{Converged: false}}}
+	if r.Bounded(1) {
+		t.Error("non-converged epoch should fail Bounded")
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/transport"
+)
+
+// splitterClusterConfigs reproduces the lower-bound geometry over a real
+// cluster: a 2f ping-pong pool at the front, then a Low camp at lo and a
+// High camp at hi, with occupied nodes running the camp attack. Camp sizes
+// follow mobile.SplitterLayout.
+func splitterClusterConfigs(t *testing.T, model mobile.Model, n, f, rounds int) []Config {
+	t.Helper()
+	layout, err := mobile.SplitterLayout(model, n, f, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := layout.Inputs(n)
+	boundary := len(layout.Pool) + len(layout.Low)
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			ID:           i,
+			N:            n,
+			F:            f,
+			Model:        model,
+			Algorithm:    msr.FTA{},
+			Input:        inputs[i],
+			InputRange:   1,
+			Epsilon:      1e-3,
+			RoundTimeout: 200 * time.Millisecond,
+			Schedule:     PingPongFaults{F: f},
+			CampBoundary: boundary,
+			AttackLo:     0,
+			AttackHi:     1,
+			FixedRounds:  rounds,
+		}
+	}
+	return cfgs
+}
+
+// campSpread returns the decision spread over the camp members only (pool
+// nodes alternate between occupied and cured; their decisions are the
+// adversary's business).
+func campSpread(t *testing.T, model mobile.Model, n, f int, decisions []float64) float64 {
+	t.Helper()
+	layout, err := mobile.SplitterLayout(model, n, f, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := decisions[layout.Low[0]], decisions[layout.Low[0]]
+	for _, ids := range [][]int{layout.Low, layout.High} {
+		for _, id := range ids {
+			if decisions[id] < lo {
+				lo = decisions[id]
+			}
+			if decisions[id] > hi {
+				hi = decisions[id]
+			}
+		}
+	}
+	return hi - lo
+}
+
+// TestClusterBoundGap demonstrates Table 2 end to end over real message
+// passing: at n = bound the camp attack holds the two camps a constant
+// distance apart for the whole run, while at n = bound+1 the same attack
+// collapses. (Round 0 has no cured cohort — Observation 2 — so the bound
+// run is allowed its one initial contraction; after that it must freeze.)
+func TestClusterBoundGap(t *testing.T) {
+	for _, model := range []mobile.Model{mobile.M1Garay, mobile.M2Bonnet, mobile.M3Sasaki} {
+		model := model
+		t.Run(model.Short(), func(t *testing.T) {
+			const f, rounds = 1, 24
+			nBound := model.Bound(f)
+
+			// At the bound: frozen well away from agreement.
+			links, closeHub := channelLinks(t, nBound)
+			defer closeHub()
+			frozen, err := RunCluster(splitterClusterConfigs(t, model, nBound, f, rounds), links)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := campSpread(t, model, nBound, f, frozen); got < 0.4 {
+				t.Errorf("n=%d: camp spread %g; the attack should hold ≥ 0.4 apart", nBound, got)
+			}
+
+			// One node more: the same attack collapses.
+			links2, closeHub2 := channelLinks(t, nBound+1)
+			defer closeHub2()
+			conv, err := RunCluster(splitterClusterConfigs(t, model, nBound+1, f, rounds), links2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := campSpread(t, model, nBound+1, f, conv); got > 1e-3 {
+				t.Errorf("n=%d: camp spread %g > ε; one extra node should restore agreement", nBound+1, got)
+			}
+		})
+	}
+}
+
+// TestClusterBoundGapOverTCP repeats the M1 comparison across real sockets.
+func TestClusterBoundGapOverTCP(t *testing.T) {
+	const f, rounds = 1, 16
+	model := mobile.M1Garay
+
+	runTCP := func(n int) []float64 {
+		nodes, err := transport.NewTCPMesh(n, []byte("bound-gap-key"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			for _, nd := range nodes {
+				_ = nd.Close()
+			}
+		}()
+		links := make([]transport.Link, n)
+		for i := range links {
+			links[i] = nodes[i]
+		}
+		decisions, err := RunCluster(splitterClusterConfigs(t, model, n, f, rounds), links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decisions
+	}
+
+	nBound := model.Bound(f)
+	if got := campSpread(t, model, nBound, f, runTCP(nBound)); got < 0.4 {
+		t.Errorf("TCP n=%d: camp spread %g, want ≥ 0.4 (frozen)", nBound, got)
+	}
+	if got := campSpread(t, model, nBound+1, f, runTCP(nBound+1)); got > 1e-3 {
+		t.Errorf("TCP n=%d: camp spread %g, want ≤ ε (converged)", nBound+1, got)
+	}
+}
+
+func TestPingPongSchedule(t *testing.T) {
+	s := PingPongFaults{F: 2}
+	even := s.Occupied(0)
+	odd := s.Occupied(1)
+	if len(even) != 2 || even[0] != 0 || even[1] != 1 {
+		t.Errorf("even = %v", even)
+	}
+	if len(odd) != 2 || odd[0] != 2 || odd[1] != 3 {
+		t.Errorf("odd = %v", odd)
+	}
+	if got := (PingPongFaults{}).Occupied(0); got != nil {
+		t.Errorf("empty schedule occupied %v", got)
+	}
+}

@@ -1,0 +1,409 @@
+// Package cluster runs the MSR approximate-agreement protocol as a real
+// distributed deployment: one Node per process, communicating over a
+// transport.Link (in-memory channels or authenticated TCP sockets), in
+// lockstep rounds with deadline-based omission detection — the synchronous
+// system of paper §3 realised over actual message passing.
+//
+// Fault injection is schedule-driven: a FaultSchedule deterministically
+// marks which nodes the mobile agents occupy in each round, and occupied
+// nodes execute the adversarial send behaviour themselves (a compromised
+// machine is the attacker). The schedule reproduces the mobile models'
+// state machine: occupied → byzantine sends; just-released → the model's
+// cured behaviour.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/transport"
+)
+
+// FaultSchedule decides which nodes the agents occupy in a given round.
+// Implementations must be deterministic pure functions so every node
+// derives the same schedule (the test harness plays the omniscient
+// adversary; in production nothing implements this — it exists to attack
+// your own deployment).
+type FaultSchedule interface {
+	// Occupied returns the node ids hosting agents in round r.
+	Occupied(round int) []int
+}
+
+// NoFaults is the empty schedule.
+type NoFaults struct{}
+
+// Occupied implements FaultSchedule.
+func (NoFaults) Occupied(int) []int { return nil }
+
+// RotatingFaults sweeps f agents across n nodes, shifting by f every
+// round — the cluster counterpart of mobile.Rotating.
+type RotatingFaults struct {
+	N, F int
+}
+
+// Occupied implements FaultSchedule.
+func (s RotatingFaults) Occupied(round int) []int {
+	if s.F <= 0 || s.N <= 0 {
+		return nil
+	}
+	out := make([]int, 0, s.F)
+	start := (round * s.F) % s.N
+	for i := 0; i < s.F && i < s.N; i++ {
+		out = append(out, (start+i)%s.N)
+	}
+	return out
+}
+
+// CrashFaults marks the same rotation as RotatingFaults but nodes omit
+// instead of lying (benign control).
+type CrashFaults struct {
+	N, F int
+}
+
+// Occupied implements FaultSchedule.
+func (s CrashFaults) Occupied(round int) []int {
+	return RotatingFaults(s).Occupied(round)
+}
+
+// PingPongFaults alternates the agents between nodes [0, F) and [F, 2F)
+// each round — the cluster counterpart of the splitter's maximum-pressure
+// schedule (every round has F occupied and F just-released nodes).
+type PingPongFaults struct {
+	F int
+}
+
+// Occupied implements FaultSchedule.
+func (s PingPongFaults) Occupied(round int) []int {
+	if s.F <= 0 {
+		return nil
+	}
+	start := 0
+	if round%2 == 1 {
+		start = s.F
+	}
+	out := make([]int, 0, s.F)
+	for i := 0; i < s.F; i++ {
+		out = append(out, start+i)
+	}
+	return out
+}
+
+// Config parameterizes one cluster node.
+type Config struct {
+	// ID and N identify the node and the cluster size; F is the agent
+	// count the deployment must tolerate.
+	ID, N, F int
+	// Model selects the mobile fault model (drives τ and cured behaviour).
+	Model mobile.Model
+	// Algorithm is the MSR voting function.
+	Algorithm msr.Algorithm
+	// Input is this node's initial value.
+	Input float64
+	// InputRange is the a-priori spread of correct inputs (e.g. the sensor
+	// spec range); with Epsilon and the algorithm's contraction guarantee
+	// it fixes the round count every node computes locally — the
+	// Dolev-style halting rule without an omniscient observer.
+	InputRange float64
+	// Epsilon is the agreement tolerance.
+	Epsilon float64
+	// RoundTimeout is the receive-phase deadline after which missing
+	// senders are treated as omissions (benign).
+	RoundTimeout time.Duration
+	// Schedule injects mobile faults; NoFaults{} for honest runs. The
+	// schedule must be identical on every node of a test deployment.
+	Schedule FaultSchedule
+	// Crash selects omission behaviour (instead of Byzantine values) for
+	// occupied nodes.
+	Crash bool
+	// CampBoundary, when positive, switches occupied nodes to the
+	// splitter's camp attack: AttackLo to node ids below the boundary,
+	// AttackHi to the rest. This is how the lower-bound freeze is
+	// reproduced over real links.
+	CampBoundary       int
+	AttackLo, AttackHi float64
+	// FixedRounds overrides the computed round count when positive.
+	FixedRounds int
+}
+
+// Validate checks the node configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0 || c.ID < 0 || c.ID >= c.N:
+		return fmt.Errorf("cluster: id %d / n %d invalid", c.ID, c.N)
+	case c.F < 0:
+		return fmt.Errorf("cluster: negative f")
+	case !c.Model.Valid():
+		return fmt.Errorf("cluster: invalid model")
+	case c.Algorithm == nil:
+		return fmt.Errorf("cluster: nil algorithm")
+	case c.Epsilon <= 0 && c.FixedRounds <= 0:
+		return fmt.Errorf("cluster: need positive epsilon or fixed rounds")
+	case c.InputRange <= 0 && c.FixedRounds <= 0:
+		return fmt.Errorf("cluster: need positive input range or fixed rounds")
+	case c.RoundTimeout <= 0:
+		return fmt.Errorf("cluster: need a positive round timeout")
+	case c.Schedule == nil:
+		return fmt.Errorf("cluster: nil schedule (use NoFaults{})")
+	}
+	return nil
+}
+
+// Rounds returns the number of rounds the node will run: FixedRounds if
+// set, otherwise ⌈log(ε/range)/log(C)⌉ from the algorithm's guaranteed
+// contraction. It returns an error when the algorithm offers no guarantee
+// (Median) and no FixedRounds was given.
+func (c Config) Rounds() (int, error) {
+	if c.FixedRounds > 0 {
+		return c.FixedRounds, nil
+	}
+	m := c.N
+	if c.Model == mobile.M1Garay {
+		m = c.N - c.F
+	}
+	contraction, ok := c.Algorithm.Contraction(m, c.Model.Trim(c.F), c.Model.AsymmetricSenders(c.F))
+	if !ok {
+		return 0, errors.New("cluster: algorithm has no contraction guarantee; set FixedRounds")
+	}
+	r, err := msr.RequiredRounds(c.InputRange, c.Epsilon, contraction)
+	if err != nil {
+		return 0, err
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r, nil
+}
+
+// Node is one cluster member.
+type Node struct {
+	cfg    Config
+	link   transport.Link
+	tau    int
+	vote   float64
+	buffer map[int][]transport.Message // round → early messages
+}
+
+// NewNode wires a node to its link.
+func NewNode(cfg Config, link transport.Link) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if link == nil {
+		return nil, errors.New("cluster: nil link")
+	}
+	return &Node{
+		cfg:    cfg,
+		link:   link,
+		tau:    cfg.Model.Trim(cfg.F),
+		vote:   cfg.Input,
+		buffer: make(map[int][]transport.Message),
+	}, nil
+}
+
+// Run executes the protocol and returns this node's decision. It blocks
+// until the locally computed round count has elapsed; the caller runs one
+// goroutine per node and joins them.
+func (nd *Node) Run() (float64, error) {
+	rounds, err := nd.cfg.Rounds()
+	if err != nil {
+		return 0, err
+	}
+	occupiedPrev := false
+	for r := 0; r < rounds; r++ {
+		occupied := contains(nd.cfg.Schedule.Occupied(r), nd.cfg.ID)
+		cured := occupiedPrev && !occupied
+
+		if err := nd.send(r, occupied, cured); err != nil {
+			return 0, err
+		}
+		values, err := nd.collect(r)
+		if err != nil {
+			return 0, err
+		}
+		if len(values) > 0 {
+			v, err := msr.ApplyCapped(nd.cfg.Algorithm, values, nd.tau)
+			if err != nil {
+				return 0, fmt.Errorf("cluster: node %d round %d: %w", nd.cfg.ID, r, err)
+			}
+			nd.vote = v
+		}
+		if occupied && nd.cfg.Model != mobile.M4Buhrman {
+			// The agent leaves a corrupted value behind; under M2 the
+			// node will broadcast it while cured. Under M4 the agent
+			// departs with the message, before the computation phase,
+			// so the released host's recomputed state is clean.
+			if nd.cfg.CampBoundary > 0 {
+				nd.vote = nd.cfg.AttackHi // the splitter's LeaveBehind
+			} else {
+				nd.vote = nd.vote + nd.cfg.InputRange
+			}
+		}
+		occupiedPrev = occupied
+	}
+	return nd.vote, nil
+}
+
+// send broadcasts this round's messages according to the node's role.
+func (nd *Node) send(round int, occupied, cured bool) error {
+	for to := 0; to < nd.cfg.N; to++ {
+		m := transport.Message{Round: round, To: to, Value: nd.vote}
+		switch {
+		case occupied && nd.cfg.Crash:
+			m.Omitted = true
+		case occupied && nd.cfg.CampBoundary > 0:
+			// Splitter-style camp attack: hold the two halves apart.
+			if to < nd.cfg.CampBoundary {
+				m.Value = nd.cfg.AttackLo
+			} else {
+				m.Value = nd.cfg.AttackHi
+			}
+		case occupied:
+			// Byzantine: per-receiver split values at the spec extremes.
+			if to%2 == 0 {
+				m.Value = nd.vote - nd.cfg.InputRange
+			} else {
+				m.Value = nd.vote + nd.cfg.InputRange
+			}
+		case cured:
+			switch nd.cfg.Model {
+			case mobile.M1Garay:
+				m.Omitted = true // aware: stays silent one round
+			case mobile.M3Sasaki:
+				// Poisoned queue: per-receiver garbage (camp-targeted
+				// when the camp attack is on — the departing agent
+				// loaded the queue).
+				switch {
+				case nd.cfg.CampBoundary > 0 && to < nd.cfg.CampBoundary:
+					m.Value = nd.cfg.AttackLo
+				case nd.cfg.CampBoundary > 0:
+					m.Value = nd.cfg.AttackHi
+				case to%2 == 0:
+					m.Value = nd.vote - nd.cfg.InputRange/2
+				default:
+					m.Value = nd.vote + nd.cfg.InputRange/2
+				}
+			default:
+				// M2: broadcasts the corrupted stored value (symmetric);
+				// M4: cured nodes behave correctly.
+			}
+		}
+		if err := nd.link.Send(m); err != nil {
+			return fmt.Errorf("cluster: node %d send round %d: %w", nd.cfg.ID, round, err)
+		}
+	}
+	return nil
+}
+
+// collect gathers this round's values until all n senders reported or the
+// deadline passed. Early messages for future rounds are buffered; stale
+// messages are dropped.
+func (nd *Node) collect(round int) ([]float64, error) {
+	byFrom := make(map[int]transport.Message, nd.cfg.N)
+	for _, m := range nd.buffer[round] {
+		byFrom[m.From] = m
+	}
+	delete(nd.buffer, round)
+
+	deadline := time.NewTimer(nd.cfg.RoundTimeout)
+	defer deadline.Stop()
+	for len(byFrom) < nd.cfg.N {
+		select {
+		case m, ok := <-nd.link.Recv():
+			if !ok {
+				return nil, errors.New("cluster: link closed mid-round")
+			}
+			switch {
+			case m.Round == round:
+				byFrom[m.From] = m
+			case m.Round > round:
+				nd.buffer[m.Round] = append(nd.buffer[m.Round], m)
+			default:
+				// Stale: a slower round already ended by deadline.
+			}
+		case <-deadline.C:
+			// Missing senders become detected omissions (benign).
+			goto done
+		}
+	}
+done:
+	values := make([]float64, 0, len(byFrom))
+	for _, m := range byFrom {
+		if !m.Omitted && !math.IsNaN(m.Value) {
+			values = append(values, m.Value)
+		}
+	}
+	return values, nil
+}
+
+// contains reports whether xs includes x.
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// HonestAtEnd returns which nodes are NOT occupied by an agent in the final
+// round of an R-round run — the nodes whose decisions count, mirroring the
+// simulator's Decided semantics (a node the agent controls at decision time
+// outputs whatever the agent wants).
+func HonestAtEnd(s FaultSchedule, rounds, n int) []bool {
+	honest := make([]bool, n)
+	for i := range honest {
+		honest[i] = true
+	}
+	if rounds <= 0 {
+		return honest
+	}
+	for _, id := range s.Occupied(rounds - 1) {
+		if id >= 0 && id < n {
+			honest[id] = false
+		}
+	}
+	return honest
+}
+
+// RunCluster is the test/demo harness: it builds n nodes over the given
+// links, runs them concurrently, and returns their decisions. The links
+// slice must come from one mesh (transport.Channel.Link or NewTCPMesh).
+func RunCluster(cfgs []Config, links []transport.Link) ([]float64, error) {
+	if len(cfgs) != len(links) {
+		return nil, fmt.Errorf("cluster: %d configs for %d links", len(cfgs), len(links))
+	}
+	n := len(cfgs)
+	type outcome struct {
+		id    int
+		value float64
+		err   error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(cfgs[i], links[i])
+		if err != nil {
+			return nil, err
+		}
+		go func(id int, nd *Node) {
+			v, err := nd.Run()
+			results <- outcome{id: id, value: v, err: err}
+		}(i, node)
+	}
+	decisions := make([]float64, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		o := <-results
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("node %d: %w", o.id, o.err)
+		}
+		decisions[o.id] = o.value
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return decisions, nil
+}

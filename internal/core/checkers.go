@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/mixedmode"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/multiset"
+)
+
+// p2Slack is the relative numerical slack used when checking the strict
+// inequality of property P2. A pair of computed values violating P2 "by
+// rounding" would differ from δ(U) by at most a few ulps; the theoretical
+// worst case above the replica bound is bounded away from δ(U) by a factor
+// depending on f, so a 1e-9 relative margin separates the two cleanly.
+const p2Slack = 1e-9
+
+// p1Slack is the relative tolerance of the P1 range check: averaging k
+// identical survivors can produce a value one ulp outside ρ(U), which is
+// rounding, not a violation (real violations are Θ(δ(U))).
+const p1Slack = 1e-12
+
+// Violation describes one failed invariant check.
+type Violation struct {
+	// Round is the round in which the violation occurred.
+	Round int
+	// Kind is "P1", "P2", or "validity".
+	Kind string
+	// Process (and Partner for pairwise checks) identify the culprits.
+	Process, Partner int
+	// Detail is a human-readable account.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d %s p%d/p%d: %s", v.Round, v.Kind, v.Process, v.Partner, v.Detail)
+}
+
+// EquivalenceCertificate is the per-round witness built by the Theorem 1
+// checker: it maps the observed mobile configuration to the static
+// Mixed-Mode configuration of Observation 1 and records that the
+// equivalence conditions of Definition 9 hold.
+type EquivalenceCertificate struct {
+	// Round is the certified round.
+	Round int
+	// Census is the Mixed-Mode fault census (a, s, b) obtained through the
+	// Table 1 mapping from the round's faulty and cured counts.
+	Census mixedmode.Counts
+	// MobileCorrect is the number of send-phase-correct processes in the
+	// mobile configuration.
+	MobileCorrect int
+	// StaticCorrect is n − (a+s+b), the correct count of the equivalent
+	// static configuration (Observation 1).
+	StaticCorrect int
+	// BoundSatisfied records n > 3a + 2s + b.
+	BoundSatisfied bool
+	// CorrectValues records that every non-faulty process computed a
+	// correct value in the sense of Definition 4 (P1 and P2 held).
+	CorrectValues bool
+}
+
+// Equivalent reports whether the certificate witnesses Definition 9's
+// conditions: same U (by construction — both configurations share the
+// send-phase correct values), at least as many ⟨correct, correct value⟩
+// tuples as the static configuration, under a satisfied bound.
+func (c EquivalenceCertificate) Equivalent() bool {
+	return c.BoundSatisfied && c.CorrectValues && c.MobileCorrect >= c.StaticCorrect
+}
+
+// CheckReport aggregates every invariant check of a run.
+type CheckReport struct {
+	// RoundsChecked counts the rounds the checkers examined.
+	RoundsChecked int
+	// Violations lists every P1/P2/validity failure observed.
+	Violations []Violation
+	// Certificates holds one Theorem 1 certificate per round.
+	Certificates []EquivalenceCertificate
+}
+
+// Ok reports whether no violation was observed and every certificate
+// witnesses equivalence — i.e. the run behaved exactly as Theorem 1
+// predicts for an above-bound configuration.
+func (r *CheckReport) Ok() bool {
+	if r == nil {
+		return false
+	}
+	if len(r.Violations) > 0 {
+		return false
+	}
+	for _, c := range r.Certificates {
+		if !c.Equivalent() {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma5Holds reports whether every cured process computed a correct value
+// in every round (so the cured set empties at each computation phase, as
+// Lemma 5 states). Cured-process violations carry Kind "P1" or "P2" and are
+// distinguished by the recorded detail.
+func (r *CheckReport) Lemma5Holds() bool {
+	if r == nil {
+		return false
+	}
+	for _, v := range r.Violations {
+		if v.Kind == "P1-cured" || v.Kind == "P2-cured" {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRound runs the Definition 4 checks for one round and appends the
+// Theorem 1 certificate.
+//
+// U is the multiset of values broadcast by send-phase-correct processes.
+// P1: every non-faulty computed value lies in ρ(U).
+// P2: every pair of non-faulty computed values differs by strictly less
+// than δ(U) (exact equality required when δ(U) = 0).
+func (r *CheckReport) checkRound(
+	round int,
+	cfg Config,
+	sendStates []mobile.State,
+	computeFaulty map[int]bool,
+	newVotes []float64,
+	u multiset.Multiset,
+) {
+	r.RoundsChecked++
+
+	uRange, uOK := u.Range()
+	uDiam := u.Diameter()
+
+	census := mobile.CountStates(sendStates)
+	mmCounts, err := cfg.Model.MixedModeCensus(census.Faulty, census.Cured)
+	if err != nil {
+		r.Violations = append(r.Violations, Violation{
+			Round: round, Kind: "mapping", Process: -1, Partner: -1,
+			Detail: err.Error(),
+		})
+		return
+	}
+
+	correctValues := true
+	curedSuffix := func(i int) string {
+		if sendStates[i] == mobile.StateCured {
+			return "-cured"
+		}
+		return ""
+	}
+
+	// P1 for every non-faulty process.
+	var nonFaulty []int
+	for i := 0; i < cfg.N; i++ {
+		if computeFaulty[i] {
+			continue
+		}
+		nonFaulty = append(nonFaulty, i)
+		v := newVotes[i]
+		if !uOK {
+			continue // no correct senders: ρ(U) undefined, nothing to check
+		}
+		if math.IsNaN(v) || !uRange.ContainsWithin(v, p1Slack) {
+			correctValues = false
+			r.Violations = append(r.Violations, Violation{
+				Round: round, Kind: "P1" + curedSuffix(i), Process: i, Partner: -1,
+				Detail: fmt.Sprintf("computed %g outside ρ(U)=[%g,%g]", v, uRange.Lo, uRange.Hi),
+			})
+		}
+	}
+
+	// P2 pairwise. For δ(U)=0, P1 already forces exact agreement, but we
+	// still record the pair for a sharper diagnostic.
+	for ai := 0; ai < len(nonFaulty); ai++ {
+		for bi := ai + 1; bi < len(nonFaulty); bi++ {
+			i, j := nonFaulty[ai], nonFaulty[bi]
+			diff := math.Abs(newVotes[i] - newVotes[j])
+			ok := true
+			if uDiam == 0 {
+				ok = diff == 0
+			} else {
+				ok = diff < uDiam*(1-p2Slack) || diff == 0
+			}
+			if !ok {
+				correctValues = false
+				kind := "P2"
+				if sendStates[i] == mobile.StateCured || sendStates[j] == mobile.StateCured {
+					kind = "P2-cured"
+				}
+				r.Violations = append(r.Violations, Violation{
+					Round: round, Kind: kind, Process: i, Partner: j,
+					Detail: fmt.Sprintf("|%g-%g|=%g not < δ(U)=%g", newVotes[i], newVotes[j], diff, uDiam),
+				})
+			}
+		}
+	}
+
+	r.Certificates = append(r.Certificates, EquivalenceCertificate{
+		Round:          round,
+		Census:         mmCounts,
+		MobileCorrect:  census.Correct,
+		StaticCorrect:  cfg.N - mmCounts.Total(),
+		BoundSatisfied: mmCounts.Satisfied(cfg.N),
+		CorrectValues:  correctValues,
+	})
+}
+
+// checkValidity verifies the Validity property at decision time: every
+// decision lies in the range of the initial values of the initially-correct
+// processes.
+func (r *CheckReport) checkValidity(round int, decisions []float64, decided []bool, initial multiset.Interval) {
+	for i, ok := range decided {
+		if !ok {
+			continue
+		}
+		if math.IsNaN(decisions[i]) || !initial.ContainsWithin(decisions[i], p1Slack) {
+			r.Violations = append(r.Violations, Violation{
+				Round: round, Kind: "validity", Process: i, Partner: -1,
+				Detail: fmt.Sprintf("decision %g outside initial correct range [%g,%g]", decisions[i], initial.Lo, initial.Hi),
+			})
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Round: 3, Kind: "P1", Process: 2, Partner: -1, Detail: "outside"}
+	s := v.String()
+	for _, want := range []string{"round 3", "P1", "p2", "outside"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Violation.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestAboveBound(t *testing.T) {
+	cfg := Config{Model: mobile.M1Garay, N: 9, F: 2}
+	if !cfg.AboveBound() {
+		t.Error("9 > 8 should be above bound")
+	}
+	cfg.N = 8
+	if cfg.AboveBound() {
+		t.Error("8 = 4f should not be above bound")
+	}
+}
+
+// TestConcurrentEngineCheckersMatch verifies the two engines produce the
+// same invariant-checker verdicts, not only the same votes.
+func TestConcurrentEngineCheckersMatch(t *testing.T) {
+	mk := func() Config {
+		layout, err := mobile.SplitterLayout(mobile.M2Bonnet, 11, 2, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Model:          mobile.M2Bonnet,
+			N:              11,
+			F:              2,
+			Algorithm:      msr.FTA{},
+			Adversary:      mobile.NewRotating(),
+			Inputs:         layout.Inputs(11),
+			Epsilon:        1e-6,
+			FixedRounds:    15,
+			EnableCheckers: true,
+			Seed:           13,
+		}
+	}
+	det, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunConcurrent(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Check.Ok() != conc.Check.Ok() {
+		t.Fatalf("checker verdicts differ: det %v conc %v", det.Check.Ok(), conc.Check.Ok())
+	}
+	if len(det.Check.Certificates) != len(conc.Check.Certificates) {
+		t.Fatalf("certificate counts differ: %d vs %d",
+			len(det.Check.Certificates), len(conc.Check.Certificates))
+	}
+	for i := range det.Check.Certificates {
+		if det.Check.Certificates[i] != conc.Check.Certificates[i] {
+			t.Errorf("certificate %d differs: %+v vs %+v",
+				i, det.Check.Certificates[i], conc.Check.Certificates[i])
+		}
+	}
+}
+
+// TestEquivalenceCertificateFields pins the certificate arithmetic for a
+// hand-computed round.
+func TestEquivalenceCertificateFields(t *testing.T) {
+	c := EquivalenceCertificate{
+		Round:          5,
+		MobileCorrect:  7,
+		StaticCorrect:  7,
+		BoundSatisfied: true,
+		CorrectValues:  true,
+	}
+	if !c.Equivalent() {
+		t.Error("satisfied certificate not equivalent")
+	}
+	c.CorrectValues = false
+	if c.Equivalent() {
+		t.Error("incorrect values still equivalent")
+	}
+	c.CorrectValues = true
+	c.MobileCorrect = 6
+	if c.Equivalent() {
+		t.Error("fewer correct tuples still equivalent")
+	}
+}
+
+// TestAdversaryContractViolations verifies the engine rejects adversaries
+// breaking their placement contract instead of silently mis-simulating.
+func TestAdversaryContractViolations(t *testing.T) {
+	bad := badPlacementAdversary{}
+	cfg := Config{
+		Model:     mobile.M1Garay,
+		N:         9,
+		F:         2,
+		Algorithm: msr.FTA{},
+		Adversary: bad,
+		Inputs:    make([]float64, 9),
+		Epsilon:   1e-3,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("oversize placement accepted")
+	}
+	if _, err := RunConcurrent(cfg); err == nil {
+		t.Error("concurrent engine accepted oversize placement")
+	}
+}
+
+// badPlacementAdversary places more agents than it has.
+type badPlacementAdversary struct{}
+
+func (badPlacementAdversary) Name() string { return "bad" }
+func (badPlacementAdversary) Place(v *mobile.View) []int {
+	out := make([]int, v.F+1)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+func (badPlacementAdversary) FaultyValue(*mobile.View, int, int) (float64, bool) { return 0, false }
+func (badPlacementAdversary) LeaveBehind(*mobile.View, int) float64              { return 0 }
+func (badPlacementAdversary) QueueValue(*mobile.View, int, int) (float64, bool)  { return 0, true }

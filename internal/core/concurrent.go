@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mbfaa/internal/mixedmode"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/trace"
+)
+
+// RunConcurrent executes the protocol with one goroutine per process
+// exchanging real messages over channels, coordinated into synchronous
+// rounds. The adversary is driven by the coordinator in exactly the order
+// the deterministic engine uses, and every process's computation consumes
+// only the messages its goroutine actually received — so RunConcurrent
+// produces bit-identical Results to Run while exercising genuine concurrent
+// message passing. The test suite asserts that equivalence.
+func RunConcurrent(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := newRunState(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	c := newCluster(cfg)
+	defer c.shutdown()
+
+	for r := 0; r < cfg.MaxRounds; r++ {
+		if err := st.runRoundConcurrent(c, r); err != nil {
+			return nil, err
+		}
+		if st.halted(r) {
+			break
+		}
+	}
+	return st.result(), nil
+}
+
+// message is one round-stamped value in flight between process goroutines.
+// Omission markers flow explicitly so that every receiver collects exactly
+// n messages per round — the channel analogue of a synchronous round's
+// "detectably absent" message.
+type message struct {
+	round   int
+	from    int
+	value   float64
+	omitted bool
+}
+
+// sendDirective tells a worker how to behave in one round's send phase.
+type sendDirective struct {
+	round int
+	mode  sendMode
+	// setVote, when hasSetVote, overwrites the worker's stored vote before
+	// sending (agent corruption / the value left behind on departure).
+	setVote    float64
+	hasSetVote bool
+	// scripted holds the per-receiver outgoing messages for Byzantine and
+	// M3-cured senders.
+	scripted []message
+}
+
+// sendMode selects the worker's send behaviour.
+type sendMode int
+
+const (
+	modeBroadcast sendMode = iota + 1 // broadcast stored vote (correct, M2-cured)
+	modeSilent                        // omission markers only (M1-cured)
+	modeScripted                      // adversary-scripted messages (faulty, M3-cured)
+)
+
+// computeDirective tells a worker whether it computes this round (a process
+// hosting an agent during the computation phase does not).
+type computeDirective struct {
+	round  int
+	faulty bool
+}
+
+// report carries a worker's computed value back to the coordinator.
+type report struct {
+	round int
+	from  int
+	value float64 // NaN when the worker was faulty at compute time
+	err   error
+}
+
+// cluster owns the worker goroutines and their channels.
+type cluster struct {
+	n        int
+	inboxes  []chan message
+	sendCh   []chan sendDirective
+	computes []chan computeDirective
+	reports  chan report
+	wg       sync.WaitGroup
+}
+
+// newCluster starts the n worker goroutines.
+func newCluster(cfg Config) *cluster {
+	n := cfg.N
+	c := &cluster{
+		n: n,
+		// Inbox capacity n is the synchronous-round mailbox: all n
+		// senders must be able to deposit before any receiver drains,
+		// or the all-send-then-all-receive phase structure deadlocks.
+		inboxes:  make([]chan message, n),
+		sendCh:   make([]chan sendDirective, n),
+		computes: make([]chan computeDirective, n),
+		reports:  make(chan report, n),
+	}
+	for i := 0; i < n; i++ {
+		c.inboxes[i] = make(chan message, n)
+		c.sendCh[i] = make(chan sendDirective, 1)
+		c.computes[i] = make(chan computeDirective, 1)
+	}
+	for i := 0; i < n; i++ {
+		c.wg.Add(1)
+		go c.worker(cfg, i)
+	}
+	return c
+}
+
+// shutdown closes the directive channels and joins every worker.
+func (c *cluster) shutdown() {
+	for i := 0; i < c.n; i++ {
+		close(c.sendCh[i])
+		close(c.computes[i])
+	}
+	c.wg.Wait()
+}
+
+// worker is one process: it sends per the coordinator's directive, receives
+// exactly n messages, computes its next vote from what it actually
+// received, and reports it.
+func (c *cluster) worker(cfg Config, id int) {
+	defer c.wg.Done()
+	vote := cfg.Inputs[id]
+	for sd := range c.sendCh[id] {
+		if sd.hasSetVote {
+			vote = sd.setVote
+		}
+		switch sd.mode {
+		case modeBroadcast:
+			for j := 0; j < c.n; j++ {
+				c.inboxes[j] <- message{round: sd.round, from: id, value: vote}
+			}
+		case modeSilent:
+			for j := 0; j < c.n; j++ {
+				c.inboxes[j] <- message{round: sd.round, from: id, omitted: true}
+			}
+		case modeScripted:
+			for j := 0; j < c.n; j++ {
+				c.inboxes[j] <- sd.scripted[j]
+			}
+		}
+
+		row := make([]mixedmode.Observation, c.n)
+		for k := 0; k < c.n; k++ {
+			m := <-c.inboxes[id]
+			row[m.from] = mixedmode.Observation{Value: m.value, Omitted: m.omitted}
+		}
+
+		cd, ok := <-c.computes[id]
+		if !ok {
+			return
+		}
+		if cd.faulty {
+			vote = math.NaN()
+			c.reports <- report{round: sd.round, from: id, value: vote}
+			continue
+		}
+		v, err := computeVote(cfg.Algorithm, cfg.Tau(), row, vote)
+		if err != nil {
+			c.reports <- report{round: sd.round, from: id, err: fmt.Errorf("core: round %d process %d: %w", sd.round, id, err)}
+			continue
+		}
+		vote = v
+		c.reports <- report{round: sd.round, from: id, value: v}
+	}
+}
+
+// runRoundConcurrent mirrors runState.runRound with the computation phase
+// delegated to the worker goroutines.
+func (st *runState) runRoundConcurrent(c *cluster, round int) error {
+	cfg := st.cfg
+	if round > 0 && !cfg.Model.MovesWithMessages() {
+		if err := st.move(round); err != nil {
+			return err
+		}
+	}
+	sendStates := append([]mobile.State(nil), st.states...)
+
+	plan, err := planSendPhase(cfg, round, st.votes, st.states, st.master)
+	if err != nil {
+		return err
+	}
+
+	// Issue send directives derived from the same plan the deterministic
+	// engine computes; correct and M2-cured workers broadcast their own
+	// stored vote, which the coordinator synchronizes first.
+	for i := 0; i < cfg.N; i++ {
+		sd := sendDirective{round: round}
+		switch sendStates[i] {
+		case mobile.StateCorrect:
+			sd.mode = modeBroadcast
+			sd.setVote, sd.hasSetVote = st.votes[i], true
+		case mobile.StateCured:
+			switch cfg.Model {
+			case mobile.M1Garay:
+				sd.mode = modeSilent
+				sd.setVote, sd.hasSetVote = st.votes[i], true
+			case mobile.M2Bonnet:
+				// The cured process broadcasts the corrupted state the
+				// agent left behind.
+				sd.mode = modeBroadcast
+				sd.setVote, sd.hasSetVote = st.votes[i], true
+			case mobile.M3Sasaki:
+				sd.mode = modeScripted
+				sd.setVote, sd.hasSetVote = st.votes[i], true
+				sd.scripted = scriptColumn(plan.matrix, i, round, cfg.N)
+			}
+		case mobile.StateFaulty:
+			sd.mode = modeScripted
+			sd.setVote, sd.hasSetVote = math.NaN(), true
+			sd.scripted = scriptColumn(plan.matrix, i, round, cfg.N)
+		}
+		c.sendCh[i] <- sd
+	}
+
+	if cfg.Model.MovesWithMessages() {
+		if err := st.moveM4(round); err != nil {
+			return err
+		}
+	}
+
+	computeFaulty := st.faulty
+	for i := 0; i < cfg.N; i++ {
+		c.computes[i] <- computeDirective{round: round, faulty: computeFaulty[i]}
+	}
+
+	newVotes := make([]float64, cfg.N)
+	for k := 0; k < cfg.N; k++ {
+		rep := <-c.reports
+		if rep.err != nil {
+			return rep.err
+		}
+		if rep.round != round {
+			return fmt.Errorf("core: report for round %d while running round %d", rep.round, round)
+		}
+		newVotes[rep.from] = rep.value
+	}
+	for i := 0; i < cfg.N; i++ {
+		if !computeFaulty[i] {
+			st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: newVotes[i]})
+		}
+	}
+
+	if st.report != nil {
+		st.report.checkRound(round, cfg, sendStates, computeFaulty, newVotes, plan.u)
+	}
+	if cfg.OnRound != nil {
+		cfg.OnRound(RoundInfo{
+			Round:         round,
+			SendStates:    sendStates,
+			Matrix:        plan.matrix,
+			Expected:      plan.expected,
+			Votes:         append([]float64(nil), newVotes...),
+			ComputeFaulty: sortedKeys(computeFaulty),
+			U:             plan.u,
+		})
+	}
+
+	st.votes = newVotes
+	for i := range st.states {
+		if st.states[i] == mobile.StateCured {
+			st.states[i] = mobile.StateCorrect
+		}
+	}
+	st.diamSeries = append(st.diamSeries, st.currentDiameter())
+	st.rounds = round + 1
+	return nil
+}
+
+// scriptColumn extracts sender's outgoing messages from the planned matrix.
+func scriptColumn(m *mixedmode.Matrix, sender, round, n int) []message {
+	out := make([]message, n)
+	for j := 0; j < n; j++ {
+		o, err := m.At(j, sender)
+		if err != nil {
+			// Cannot happen: indices are in range by construction.
+			o = mixedmode.Observation{Omitted: true}
+		}
+		out[j] = message{round: round, from: sender, value: o.Value, omitted: o.Omitted}
+	}
+	return out
+}

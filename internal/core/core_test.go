@@ -1,0 +1,523 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/prng"
+	"mbfaa/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	valid := func() Config {
+		return Config{
+			Model:     mobile.M1Garay,
+			N:         9,
+			F:         2,
+			Algorithm: msr.FTA{},
+			Adversary: mobile.NewRotating(),
+			Inputs:    make([]float64, 9),
+			Epsilon:   1e-3,
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad model", func(c *Config) { c.Model = 0 }},
+		{"zero n", func(c *Config) { c.N = 0 }},
+		{"negative f", func(c *Config) { c.F = -1 }},
+		{"f >= n", func(c *Config) { c.F = 9 }},
+		{"nil algorithm", func(c *Config) { c.Algorithm = nil }},
+		{"nil adversary", func(c *Config) { c.Adversary = nil }},
+		{"wrong input count", func(c *Config) { c.Inputs = make([]float64, 3) }},
+		{"zero epsilon", func(c *Config) { c.Epsilon = 0 }},
+		{"NaN epsilon", func(c *Config) { c.Epsilon = math.NaN() }},
+		{"negative max rounds", func(c *Config) { c.MaxRounds = -1 }},
+		{"negative fixed rounds", func(c *Config) { c.FixedRounds = -1 }},
+		{"negative trim override", func(c *Config) { c.TrimOverride = -1 }},
+		{"NaN input", func(c *Config) { c.Inputs[0] = math.NaN() }},
+		{"Inf input", func(c *Config) { c.Inputs[3] = math.Inf(1) }},
+		{"no survivors", func(c *Config) { c.N = 5; c.Inputs = make([]float64, 5) }},
+		{"cured out of range", func(c *Config) { c.InitialCured = []int{9} }},
+		{"cured duplicate", func(c *Config) { c.InitialCured = []int{1, 1} }},
+		{"cured exceeds f", func(c *Config) { c.InitialCured = []int{1, 2, 3} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := valid()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+	// M4 rejects initial cured processes specifically.
+	cfg := valid()
+	cfg.Model = mobile.M4Buhrman
+	cfg.InitialCured = []int{1}
+	if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+		t.Errorf("M4 with initial cured: err = %v", err)
+	}
+}
+
+func TestTauOverride(t *testing.T) {
+	cfg := Config{Model: mobile.M2Bonnet, F: 2}
+	if cfg.Tau() != 4 {
+		t.Errorf("Tau = %d, want 4", cfg.Tau())
+	}
+	cfg.TrimOverride = 2
+	if cfg.Tau() != 2 {
+		t.Errorf("overridden Tau = %d, want 2", cfg.Tau())
+	}
+}
+
+func TestFaultFreeRunConvergesInOneRound(t *testing.T) {
+	for _, algo := range msr.Convergent() {
+		cfg := Config{
+			Model:     mobile.M1Garay,
+			N:         5,
+			F:         0,
+			Algorithm: algo,
+			Adversary: mobile.NewRotating(),
+			Inputs:    []float64{1, 2, 3, 4, 5},
+			Epsilon:   1e-9,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if !res.Converged || res.Rounds != 1 {
+			t.Errorf("%s: converged=%v rounds=%d, want one-round convergence",
+				algo.Name(), res.Converged, res.Rounds)
+		}
+		// With identical multisets everywhere, all decisions are equal.
+		if res.DecisionDiameter() != 0 {
+			t.Errorf("%s: fault-free decisions differ by %g", algo.Name(), res.DecisionDiameter())
+		}
+	}
+}
+
+func TestCrashAdversaryIsBenign(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		f := 2
+		n := model.RequiredN(f)
+		rng := prng.New(3)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Range(0, 1)
+		}
+		cfg := Config{
+			Model:          model,
+			N:              n,
+			F:              f,
+			Algorithm:      msr.FTM{},
+			Adversary:      mobile.NewCrash(),
+			Inputs:         inputs,
+			Epsilon:        1e-4,
+			EnableCheckers: true,
+			Seed:           9,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.Converged {
+			t.Errorf("%v: crash-only adversary prevented convergence", model)
+		}
+		if !res.Check.Ok() {
+			t.Errorf("%v: crash run violated invariants: %v", model, res.Check.Violations)
+		}
+	}
+}
+
+func TestM4HasNoCuredAtSend(t *testing.T) {
+	sawCured := false
+	cfg := Config{
+		Model:     mobile.M4Buhrman,
+		N:         7,
+		F:         2,
+		Algorithm: msr.FTA{},
+		Adversary: mobile.NewRotating(),
+		Inputs:    []float64{0, 1, 0.5, 0.25, 0.75, 0.1, 0.9},
+		Epsilon:   1e-6,
+		Seed:      4,
+		OnRound: func(ri RoundInfo) {
+			for _, s := range ri.SendStates {
+				if s == mobile.StateCured {
+					sawCured = true
+				}
+			}
+		},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if sawCured {
+		t.Error("M4 send phase exhibited a cured process (Lemma 4 violated)")
+	}
+}
+
+func TestM4MidRoundMovement(t *testing.T) {
+	// Under M4 the compute-phase faulty set differs from the send-phase
+	// set whenever the adversary moves: the rotating adversary always
+	// moves, so ComputeFaulty must differ from the send-time placement on
+	// some round.
+	var sendFaulty, computeFaulty [][]int
+	cfg := Config{
+		Model:       mobile.M4Buhrman,
+		N:           7,
+		F:           2,
+		Algorithm:   msr.FTA{},
+		Adversary:   mobile.NewRotating(),
+		Inputs:      []float64{0, 1, 0.5, 0.25, 0.75, 0.1, 0.9},
+		Epsilon:     1e-6,
+		FixedRounds: 4,
+		OnRound: func(ri RoundInfo) {
+			var sf []int
+			for i, s := range ri.SendStates {
+				if s == mobile.StateFaulty {
+					sf = append(sf, i)
+				}
+			}
+			sendFaulty = append(sendFaulty, sf)
+			computeFaulty = append(computeFaulty, ri.ComputeFaulty)
+		},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for r := range sendFaulty {
+		if len(sendFaulty[r]) != len(computeFaulty[r]) {
+			continue
+		}
+		for i := range sendFaulty[r] {
+			if sendFaulty[r][i] != computeFaulty[r][i] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("M4 agents never moved between send and compute")
+	}
+	// And under M1 the two sets always coincide.
+	var same = true
+	cfg2 := cfg
+	cfg2.Model = mobile.M1Garay
+	cfg2.N = 9
+	cfg2.Inputs = append(cfg.Inputs, 0.3, 0.7)
+	cfg2.OnRound = func(ri RoundInfo) {
+		var sf []int
+		for i, s := range ri.SendStates {
+			if s == mobile.StateFaulty {
+				sf = append(sf, i)
+			}
+		}
+		if len(sf) != len(ri.ComputeFaulty) {
+			same = false
+			return
+		}
+		for i := range sf {
+			if sf[i] != ri.ComputeFaulty[i] {
+				same = false
+			}
+		}
+	}
+	if _, err := Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("M1 compute-faulty set diverged from send-faulty set")
+	}
+}
+
+func TestCheckersDetectViolationAtBound(t *testing.T) {
+	// At n = bound with the splitter, P2 must actually fail — the
+	// checkers prove the freeze is a genuine violation, not an artifact.
+	layout, err := mobile.SplitterLayout(mobile.M1Garay, 8, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Model:          mobile.M1Garay,
+		N:              8,
+		F:              2,
+		Algorithm:      msr.FTA{},
+		Adversary:      mobile.NewSplitter(),
+		Inputs:         layout.Inputs(8),
+		InitialCured:   layout.InitialCured(mobile.M1Garay, 2),
+		Epsilon:        1e-3,
+		FixedRounds:    5,
+		EnableCheckers: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check.Ok() {
+		t.Error("checkers passed a frozen sub-bound run; P2 should fail")
+	}
+	foundP2 := false
+	for _, v := range res.Check.Violations {
+		if v.Kind == "P2" || v.Kind == "P2-cured" {
+			foundP2 = true
+		}
+		if v.Kind == "P1" {
+			t.Errorf("unexpected P1 violation (splitter stays in range): %v", v)
+		}
+	}
+	if !foundP2 {
+		t.Errorf("no P2 violation recorded: %+v", res.Check.Violations)
+	}
+}
+
+func TestTheorem1CertificatesAboveBound(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		f := 2
+		n := model.RequiredN(f)
+		layout, err := mobile.SplitterLayout(model, n, f, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Model:          model,
+			N:              n,
+			F:              f,
+			Algorithm:      msr.FTM{},
+			Adversary:      mobile.NewRotating(),
+			Inputs:         layout.Inputs(n),
+			Epsilon:        1e-6,
+			FixedRounds:    30,
+			EnableCheckers: true,
+			Seed:           6,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if len(res.Check.Certificates) != 30 {
+			t.Fatalf("%v: %d certificates, want 30", model, len(res.Check.Certificates))
+		}
+		for _, c := range res.Check.Certificates {
+			if !c.Equivalent() {
+				t.Errorf("%v round %d: no equivalent static configuration: %+v", model, c.Round, c)
+			}
+			if c.MobileCorrect < c.StaticCorrect {
+				t.Errorf("%v round %d: mobile correct %d < static %d",
+					model, c.Round, c.MobileCorrect, c.StaticCorrect)
+			}
+			if !c.Census.Satisfied(n) {
+				t.Errorf("%v round %d: census %v not satisfied by n=%d", model, c.Round, c.Census, n)
+			}
+		}
+		if !res.Check.Lemma5Holds() {
+			t.Errorf("%v: Lemma 5 violated", model)
+		}
+	}
+}
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	rec := trace.New()
+	cfg := Config{
+		Model:     mobile.M1Garay,
+		N:         5,
+		F:         1,
+		Algorithm: msr.FTA{},
+		Adversary: mobile.NewRotating(),
+		Inputs:    []float64{1, 2, 3, 4, 5},
+		Epsilon:   1e-3,
+		Recorder:  rec,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moves, computes, decides int
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindMove:
+			moves++
+		case trace.KindCompute:
+			computes++
+		case trace.KindDecide:
+			decides++
+		}
+	}
+	if moves < res.Rounds {
+		t.Errorf("%d move events for %d rounds", moves, res.Rounds)
+	}
+	if computes == 0 {
+		t.Error("no compute events")
+	}
+	wantDecides := 0
+	for _, d := range res.Decided {
+		if d {
+			wantDecides++
+		}
+	}
+	if decides != wantDecides {
+		t.Errorf("%d decide events, want %d", decides, wantDecides)
+	}
+}
+
+func TestFixedRoundsRunsExactly(t *testing.T) {
+	cfg := Config{
+		Model:       mobile.M4Buhrman,
+		N:           4,
+		F:           1,
+		Algorithm:   msr.FTM{},
+		Adversary:   mobile.NewRotating(),
+		Inputs:      []float64{0, 1, 0.5, 0.25},
+		Epsilon:     100, // trivially satisfied
+		FixedRounds: 7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 7 {
+		t.Errorf("ran %d rounds, want exactly 7", res.Rounds)
+	}
+	if !res.Converged {
+		t.Error("diameter trivially within ε, should report converged")
+	}
+	if len(res.DiameterSeries) != 8 {
+		t.Errorf("series has %d entries, want 8 (initial + 7)", len(res.DiameterSeries))
+	}
+}
+
+func TestMaxRoundsCap(t *testing.T) {
+	layout, err := mobile.SplitterLayout(mobile.M2Bonnet, 10, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Model:        mobile.M2Bonnet,
+		N:            10,
+		F:            2,
+		Algorithm:    msr.FTA{},
+		Adversary:    mobile.NewSplitter(),
+		Inputs:       layout.Inputs(10),
+		InitialCured: layout.InitialCured(mobile.M2Bonnet, 2),
+		Epsilon:      1e-6,
+		MaxRounds:    25,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Rounds != 25 {
+		t.Errorf("converged=%v rounds=%d, want frozen at the 25-round cap", res.Converged, res.Rounds)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	res := &Result{
+		Votes:   []float64{1, 2, math.NaN()},
+		Decided: []bool{true, true, false},
+	}
+	if d := res.DecisionDiameter(); d != 1 {
+		t.Errorf("DecisionDiameter = %v", d)
+	}
+	if !res.EpsilonAgreement(1) || res.EpsilonAgreement(0.5) {
+		t.Error("EpsilonAgreement wrong")
+	}
+	ids, values := res.Decisions()
+	if len(ids) != 2 || ids[0] != 0 || values[1] != 2 {
+		t.Errorf("Decisions = %v, %v", ids, values)
+	}
+	single := &Result{Votes: []float64{5}, Decided: []bool{true}}
+	if single.DecisionDiameter() != 0 {
+		t.Error("single decision diameter should be 0")
+	}
+	if (&Result{}).FinalDiameter() != 0 {
+		t.Error("empty series FinalDiameter should be 0")
+	}
+}
+
+// Property: above the bound, for random inputs, random adversary behaviour
+// and every model×algorithm pair, the protocol terminates with ε-agreement
+// and validity. This is Theorem 2 exercised as a randomized property.
+func TestQuickTheorem2(t *testing.T) {
+	f := func(seed uint64, modelRaw, algoRaw, fRaw uint8) bool {
+		model := mobile.AllModels()[int(modelRaw)%4]
+		algo := msr.Convergent()[int(algoRaw)%3]
+		fc := int(fRaw)%2 + 1
+		n := model.RequiredN(fc) + int(seed%3)
+		rng := prng.New(seed)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Range(-100, 100)
+		}
+		cfg := Config{
+			Model:          model,
+			N:              n,
+			F:              fc,
+			Algorithm:      algo,
+			Adversary:      mobile.NewRandom(),
+			Inputs:         inputs,
+			Epsilon:        1e-3,
+			MaxRounds:      400,
+			Seed:           seed,
+			EnableCheckers: true,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return res.Converged && res.EpsilonAgreement(1e-3) && res.Valid() && res.Check.Ok()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the splitter freezes every model at the bound for any f.
+func TestQuickFreezeAtBoundAllF(t *testing.T) {
+	f := func(modelRaw, fRaw uint8) bool {
+		model := mobile.AllModels()[int(modelRaw)%4]
+		fc := int(fRaw)%3 + 1
+		n := model.Bound(fc)
+		layout, err := mobile.SplitterLayout(model, n, fc, 0, 1)
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			Model:        model,
+			N:            n,
+			F:            fc,
+			Algorithm:    msr.FTA{},
+			Adversary:    mobile.NewSplitter(),
+			Inputs:       layout.Inputs(n),
+			InitialCured: layout.InitialCured(model, fc),
+			Epsilon:      1e-3,
+			FixedRounds:  50,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return !res.Converged && res.FinalDiameter() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckReportNilSafety(t *testing.T) {
+	var r *CheckReport
+	if r.Ok() {
+		t.Error("nil report should not be Ok")
+	}
+	if r.Lemma5Holds() {
+		t.Error("nil report should not claim Lemma 5")
+	}
+}

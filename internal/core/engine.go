@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/multiset"
+	"mbfaa/internal/prng"
+	"mbfaa/internal/trace"
+)
+
+// Run executes the protocol on the deterministic single-threaded engine and
+// returns the Result. It is the reference implementation of the round
+// semantics; RunConcurrent produces bit-identical results over real
+// message-passing goroutines.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := newRunState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < cfg.MaxRounds; r++ {
+		if err := st.runRound(r); err != nil {
+			return nil, err
+		}
+		if st.halted(r) {
+			break
+		}
+	}
+	return st.result(), nil
+}
+
+// runState is the mutable state of one execution.
+type runState struct {
+	cfg    Config
+	master *prng.Source
+	rec    *trace.Recorder
+
+	votes  []float64
+	states []mobile.State
+	faulty map[int]bool
+
+	initialRange multiset.Interval
+	diamSeries   []float64
+	rounds       int
+	converged    bool
+	report       *CheckReport
+}
+
+// newRunState initializes votes and states and applies the round-0 agent
+// placement.
+func newRunState(cfg Config) (*runState, error) {
+	st := &runState{
+		cfg:    cfg,
+		master: prng.New(cfg.Seed),
+		rec:    cfg.Recorder,
+		votes:  append([]float64(nil), cfg.Inputs...),
+		states: make([]mobile.State, cfg.N),
+		faulty: make(map[int]bool, cfg.F),
+	}
+	for i := range st.states {
+		st.states[i] = mobile.StateCorrect
+	}
+	if cfg.EnableCheckers {
+		st.report = &CheckReport{}
+	}
+
+	view := viewFor(cfg, 0, phasePlace, st.votes, st.states, st.master)
+	placement, err := mobile.ValidatePlacement(cfg.Adversary.Place(view), cfg.N, cfg.F)
+	if err != nil {
+		return nil, fmt.Errorf("core: round 0 placement: %w", err)
+	}
+	for _, p := range cfg.InitialCured {
+		st.states[p] = mobile.StateCured
+	}
+	for _, p := range placement {
+		st.faulty[p] = true
+		st.states[p] = mobile.StateFaulty
+		st.votes[p] = math.NaN()
+	}
+	st.rec.Record(trace.Event{Round: 0, Kind: trace.KindMove, To: -1,
+		Text: fmt.Sprintf("initial agents on %v, initial cured %v", placement, cfg.InitialCured)})
+
+	// Validity baseline and initial diameter over the initially correct.
+	var correct []float64
+	for i, s := range st.states {
+		if s == mobile.StateCorrect {
+			correct = append(correct, cfg.Inputs[i])
+		}
+	}
+	ms, err := multiset.FromValues(correct...)
+	if err != nil {
+		return nil, err
+	}
+	iv, ok := ms.Range()
+	if !ok {
+		return nil, fmt.Errorf("core: no initially correct process")
+	}
+	st.initialRange = iv
+	st.diamSeries = append(st.diamSeries, ms.Diameter())
+	return st, nil
+}
+
+// move relocates the agents at the start of a round (M1–M3). Departing
+// agents leave a corrupted value behind; arriving agents obliterate their
+// host's state.
+func (st *runState) move(round int) error {
+	view := viewFor(st.cfg, round, phasePlace, st.votes, st.states, st.master)
+	placement, err := mobile.ValidatePlacement(st.cfg.Adversary.Place(view), st.cfg.N, st.cfg.F)
+	if err != nil {
+		return fmt.Errorf("core: round %d placement: %w", round, err)
+	}
+	newFaulty := make(map[int]bool, len(placement))
+	for _, p := range placement {
+		newFaulty[p] = true
+	}
+	leaveView := viewFor(st.cfg, round, phaseLeave, st.votes, st.states, st.master)
+	for p := 0; p < st.cfg.N; p++ {
+		if st.faulty[p] && !newFaulty[p] {
+			st.states[p] = mobile.StateCured
+			v := st.cfg.Adversary.LeaveBehind(leaveView, p)
+			if math.IsNaN(v) {
+				v = 0 // sanitize: stored state is a real value
+			}
+			st.votes[p] = v
+		}
+	}
+	for p := range newFaulty {
+		st.states[p] = mobile.StateFaulty
+		st.votes[p] = math.NaN()
+	}
+	st.faulty = newFaulty
+	st.rec.Record(trace.Event{Round: round, Kind: trace.KindMove, To: -1,
+		Text: fmt.Sprintf("agents on %v", placement)})
+	return nil
+}
+
+// moveM4 relocates the agents between the send and receive phases (M4:
+// agents travel with messages). Released hosts become correct immediately —
+// they are aware, their state is about to be recomputed from this round's
+// messages, and per Lemma 4 no process is cured during any send phase.
+func (st *runState) moveM4(round int) error {
+	view := viewFor(st.cfg, round+1, phasePlace, st.votes, st.states, st.master)
+	placement, err := mobile.ValidatePlacement(st.cfg.Adversary.Place(view), st.cfg.N, st.cfg.F)
+	if err != nil {
+		return fmt.Errorf("core: round %d mid-round placement: %w", round, err)
+	}
+	newFaulty := make(map[int]bool, len(placement))
+	for _, p := range placement {
+		newFaulty[p] = true
+	}
+	for p := 0; p < st.cfg.N; p++ {
+		if st.faulty[p] && !newFaulty[p] {
+			st.states[p] = mobile.StateCorrect
+		}
+	}
+	for p := range newFaulty {
+		st.states[p] = mobile.StateFaulty
+		st.votes[p] = math.NaN()
+	}
+	st.faulty = newFaulty
+	st.rec.Record(trace.Event{Round: round, Kind: trace.KindMove, To: -1,
+		Text: fmt.Sprintf("agents travel with messages to %v", placement)})
+	return nil
+}
+
+// runRound executes one full round: movement, send, receive, compute,
+// checkers, state refresh.
+func (st *runState) runRound(round int) error {
+	cfg := st.cfg
+	if round > 0 && !cfg.Model.MovesWithMessages() {
+		if err := st.move(round); err != nil {
+			return err
+		}
+	}
+	sendStates := append([]mobile.State(nil), st.states...)
+
+	plan, err := planSendPhase(cfg, round, st.votes, st.states, st.master)
+	if err != nil {
+		return err
+	}
+
+	if cfg.Model.MovesWithMessages() {
+		if err := st.moveM4(round); err != nil {
+			return err
+		}
+	}
+
+	// Receive + compute for every process not faulty during computation.
+	newVotes := make([]float64, cfg.N)
+	computeFaulty := st.faulty
+	for i := 0; i < cfg.N; i++ {
+		if computeFaulty[i] {
+			newVotes[i] = math.NaN()
+			continue
+		}
+		obsRow, err := row(plan.matrix, i, cfg.N)
+		if err != nil {
+			return err
+		}
+		v, err := computeVote(cfg.Algorithm, cfg.Tau(), obsRow, st.votes[i])
+		if err != nil {
+			return fmt.Errorf("core: round %d process %d: %w", round, i, err)
+		}
+		newVotes[i] = v
+		st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: v})
+	}
+
+	if st.report != nil {
+		st.report.checkRound(round, cfg, sendStates, computeFaulty, newVotes, plan.u)
+	}
+	if cfg.OnRound != nil {
+		cfg.OnRound(RoundInfo{
+			Round:         round,
+			SendStates:    sendStates,
+			Matrix:        plan.matrix,
+			Expected:      plan.expected,
+			Votes:         append([]float64(nil), newVotes...),
+			ComputeFaulty: sortedKeys(computeFaulty),
+			U:             plan.u,
+		})
+	}
+
+	st.votes = newVotes
+	for i := range st.states {
+		if st.states[i] == mobile.StateCured {
+			// Lemma 5: the computation phase restored a correct value.
+			st.states[i] = mobile.StateCorrect
+		}
+	}
+	st.diamSeries = append(st.diamSeries, st.currentDiameter())
+	st.rounds = round + 1
+	return nil
+}
+
+// currentDiameter returns the spread of non-faulty stored values.
+func (st *runState) currentDiameter() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	found := false
+	for i, v := range st.votes {
+		if st.faulty[i] || math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		found = true
+	}
+	if !found {
+		return 0
+	}
+	return hi - lo
+}
+
+// halted applies the halting rule after round r and sets convergence.
+func (st *runState) halted(round int) bool {
+	diam := st.diamSeries[len(st.diamSeries)-1]
+	if st.cfg.FixedRounds > 0 {
+		if round+1 >= st.cfg.FixedRounds {
+			st.converged = diam <= st.cfg.Epsilon
+			return true
+		}
+		return false
+	}
+	if diam <= st.cfg.Epsilon {
+		st.converged = true
+		return true
+	}
+	return false
+}
+
+// result assembles the Result and runs the validity check.
+func (st *runState) result() *Result {
+	res := &Result{
+		Rounds:              st.rounds,
+		Converged:           st.converged,
+		Votes:               st.votes,
+		Decided:             make([]bool, st.cfg.N),
+		InitialCorrectRange: st.initialRange,
+		DiameterSeries:      st.diamSeries,
+		Check:               st.report,
+	}
+	for i := 0; i < st.cfg.N; i++ {
+		res.Decided[i] = !st.faulty[i]
+		if res.Decided[i] {
+			st.rec.Record(trace.Event{Round: st.rounds, Kind: trace.KindDecide, From: i, To: -1, Value: st.votes[i]})
+		}
+	}
+	if st.report != nil {
+		st.report.checkValidity(st.rounds, st.votes, res.Decided, st.initialRange)
+	}
+	return res
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/mixedmode"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/multiset"
+	"mbfaa/internal/prng"
+)
+
+// Labels for deriving per-phase adversary random streams. Both engines
+// derive the same streams, which keeps randomized adversaries identical
+// across engines.
+const (
+	phasePlace uint64 = iota + 1
+	phaseSend
+	phaseLeave
+)
+
+// RoundInfo is the post-round snapshot passed to Config.OnRound.
+type RoundInfo struct {
+	// Round is the round index, starting at 0.
+	Round int
+	// SendStates are the failure states in force during the send phase.
+	SendStates []mobile.State
+	// Matrix is the full observation matrix of the round's send phase:
+	// Matrix[receiver][sender].
+	Matrix *mixedmode.Matrix
+	// Expected[s] is the value sender s would have broadcast had it been
+	// correct (NaN for processes that were faulty or cured, whose correct
+	// value is unknowable).
+	Expected []float64
+	// Votes are the stored values after the computation phase (NaN for
+	// processes faulty during computation).
+	Votes []float64
+	// ComputeFaulty are the processes faulty during the computation phase
+	// (same as send-phase faulty for M1–M3; the post-move hosts for M4).
+	ComputeFaulty []int
+	// U is the multiset of values broadcast by send-phase-correct
+	// processes — the paper's U, the baseline of P1 and P2.
+	U multiset.Multiset
+}
+
+// plannedRound holds the fully determined send phase of one round: the
+// observation matrix every receiver will see, and the classifier baseline.
+// Both engines consume the same plan; the concurrent engine additionally
+// verifies that the messages its goroutines actually exchanged reproduce
+// the plan exactly.
+type plannedRound struct {
+	matrix   *mixedmode.Matrix
+	expected []float64
+	u        multiset.Multiset
+}
+
+// viewFor builds the adversary's omniscient snapshot with defensive copies.
+func viewFor(cfg Config, round int, phase uint64, votes []float64, states []mobile.State, master *prng.Source) *mobile.View {
+	v := &mobile.View{
+		Round:  round,
+		Model:  cfg.Model,
+		N:      cfg.N,
+		F:      cfg.F,
+		Tau:    cfg.Tau(),
+		Algo:   cfg.Algorithm,
+		Votes:  append([]float64(nil), votes...),
+		States: append([]mobile.State(nil), states...),
+		Rng:    master.Derive(uint64(round), phase),
+	}
+	return v
+}
+
+// planSendPhase computes the observation matrix of one round. The adversary
+// is consulted in a fixed order — faulty senders ascending, receivers
+// ascending, then cured queues — so that randomized adversaries behave
+// identically in both engines.
+//
+// Send semantics per state (paper §3 and Lemmas 1–4):
+//
+//	correct      broadcast stored vote to everyone (including itself)
+//	faulty       per-receiver adversary-chosen value or omission
+//	cured, M1    silent (aware of its state)
+//	cured, M2    broadcast stored (corrupted) vote — symmetric
+//	cured, M3    per-receiver values from the agent-prepared queue
+//	cured, M4    cannot occur: agents move with messages, so no process
+//	             is cured during a send phase
+func planSendPhase(cfg Config, round int, votes []float64, states []mobile.State, master *prng.Source) (plannedRound, error) {
+	matrix, err := mixedmode.NewMatrix(cfg.N)
+	if err != nil {
+		return plannedRound{}, err
+	}
+	expected := make([]float64, cfg.N)
+	var uValues []float64
+	view := viewFor(cfg, round, phaseSend, votes, states, master)
+	for sender := 0; sender < cfg.N; sender++ {
+		switch states[sender] {
+		case mobile.StateCorrect:
+			expected[sender] = votes[sender]
+			uValues = append(uValues, votes[sender])
+			for receiver := 0; receiver < cfg.N; receiver++ {
+				if err := matrix.Record(receiver, sender, mixedmode.Observation{Value: votes[sender]}); err != nil {
+					return plannedRound{}, err
+				}
+			}
+		case mobile.StateFaulty:
+			expected[sender] = math.NaN()
+			for receiver := 0; receiver < cfg.N; receiver++ {
+				val, omit := cfg.Adversary.FaultyValue(view, sender, receiver)
+				if err := recordAdversarial(matrix, receiver, sender, val, omit); err != nil {
+					return plannedRound{}, err
+				}
+			}
+		case mobile.StateCured:
+			expected[sender] = math.NaN()
+			switch cfg.Model {
+			case mobile.M1Garay:
+				// Aware and silent: every entry stays Omitted.
+			case mobile.M2Bonnet:
+				for receiver := 0; receiver < cfg.N; receiver++ {
+					if err := matrix.Record(receiver, sender, mixedmode.Observation{Value: votes[sender]}); err != nil {
+						return plannedRound{}, err
+					}
+				}
+			case mobile.M3Sasaki:
+				for receiver := 0; receiver < cfg.N; receiver++ {
+					val, omit := cfg.Adversary.QueueValue(view, sender, receiver)
+					if err := recordAdversarial(matrix, receiver, sender, val, omit); err != nil {
+						return plannedRound{}, err
+					}
+				}
+			case mobile.M4Buhrman:
+				return plannedRound{}, fmt.Errorf("core: cured process %d during an M4 send phase", sender)
+			}
+		default:
+			return plannedRound{}, fmt.Errorf("core: process %d in invalid state %v", sender, states[sender])
+		}
+	}
+	u, err := multiset.FromValues(uValues...)
+	if err != nil {
+		return plannedRound{}, fmt.Errorf("core: building U: %w", err)
+	}
+	return plannedRound{matrix: matrix, expected: expected, u: u}, nil
+}
+
+// recordAdversarial stores an adversary-chosen observation, sanitising NaN
+// (which has no place in a multiset) into an omission.
+func recordAdversarial(m *mixedmode.Matrix, receiver, sender int, val float64, omit bool) error {
+	if omit || math.IsNaN(val) {
+		return nil // entry remains Omitted
+	}
+	return m.Record(receiver, sender, mixedmode.Observation{Value: val})
+}
+
+// computeVote applies the voting function to one receiver's observation
+// row. Trimming degrades gracefully when omissions leave fewer than 2τ+1
+// values: the process trims as much as it can while keeping one survivor
+// (τ_eff = min(τ, (m−1)/2)). Above the replica bound τ_eff always equals τ;
+// the degradation only matters in deliberately sub-bound runs.
+func computeVote(algo msr.Algorithm, tau int, row []mixedmode.Observation, previous float64) (float64, error) {
+	values := make([]float64, 0, len(row))
+	for _, o := range row {
+		if !o.Omitted {
+			values = append(values, o.Value)
+		}
+	}
+	if len(values) == 0 {
+		// Total silence: retain the previous value (a real protocol has
+		// nothing better); NaN previous means the process had no usable
+		// state, which cannot happen for a non-faulty process with n > 1.
+		if math.IsNaN(previous) {
+			return 0, fmt.Errorf("core: no values received and no previous state")
+		}
+		return previous, nil
+	}
+	return msr.ApplyCapped(algo, values, tau)
+}
+
+// row extracts receiver i's observation row from the matrix.
+func row(m *mixedmode.Matrix, receiver, n int) ([]mixedmode.Observation, error) {
+	out := make([]mixedmode.Observation, n)
+	for s := 0; s < n; s++ {
+		o, err := m.At(receiver, s)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = o
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+// Package lowerbound reproduces the paper's impossibility results
+// (Theorems 3–6): Simple Approximate Agreement is unsolvable with n ≤ 4f
+// (M1), n ≤ 5f (M2), n ≤ 6f (M3) and n ≤ 3f (M4).
+//
+// Each theorem is witnessed two ways:
+//
+//  1. The exact three-execution indistinguishability construction from the
+//     proofs: executions E1 and E2 force (by Validity) opposite outputs,
+//     and execution E3 presents one correct observer with E1's multiset and
+//     another with E2's, so any deterministic algorithm outputs values as
+//     far apart as the inputs — violating Simple Approximate Agreement's
+//     requirement that the spread strictly decrease. The generalization
+//     from f=1 replaces each process with a group of f (as the proofs
+//     prescribe).
+//
+//  2. An executable freeze probe: the splitter adversary holds the
+//     diameter of an actual MSR run constant forever at n = bound
+//     (see mobile.Splitter), which the Table 2 benchmarks sweep.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/multiset"
+)
+
+// Role describes what a process group does in a scenario.
+type Role int
+
+// Group roles in the constructions.
+const (
+	RoleByzantine Role = iota + 1 // hosts the agents; sends split values in E3
+	RoleCured                     // cured at round start (absent for M4)
+	RoleObserverA                 // correct; sees E1's multiset in E3
+	RoleObserverB                 // correct; sees E2's multiset in E3
+	RoleBystander                 // correct; present only in M2's 5-group construction
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleByzantine:
+		return "byzantine"
+	case RoleCured:
+		return "cured"
+	case RoleObserverA:
+		return "observerA"
+	case RoleObserverB:
+		return "observerB"
+	case RoleBystander:
+		return "bystander"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Group is a block of f processes sharing a role.
+type Group struct {
+	Role Role
+	// Ids are the member process indices.
+	Ids []int
+}
+
+// Scenario is the full three-execution construction for one model at its
+// bound n = Bound(f).
+type Scenario struct {
+	Model  mobile.Model
+	F, N   int
+	Groups []Group
+	// Executions holds E1, E2, E3 in order.
+	Executions [3]Execution
+}
+
+// Execution is one of the proof's executions: everyone's proposal (or
+// stored state), plus the per-group values the asymmetric senders
+// (Byzantine, and cured under M3) deliver.
+type Execution struct {
+	Name string
+	// Proposal maps each role to the value its members propose (for cured
+	// roles: the corrupted stored state). Asymmetric senders' proposals
+	// are irrelevant and recorded as NaN.
+	Proposal map[Role]float64
+	// AsymSend maps receiver roles to the value the asymmetric senders
+	// deliver to members of that role.
+	AsymSend map[Role]float64
+}
+
+// Build constructs the scenario for the given model with f agents at
+// n = Bound(f). It returns an error for f < 1.
+func Build(model mobile.Model, f int) (*Scenario, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("lowerbound: f=%d must be at least 1", f)
+	}
+	if !model.Valid() {
+		return nil, fmt.Errorf("lowerbound: invalid model %v", model)
+	}
+	var roles []Role
+	switch model {
+	case mobile.M1Garay: // n = 4f: byz, cured(silent), A, B
+		roles = []Role{RoleByzantine, RoleCured, RoleObserverA, RoleObserverB}
+	case mobile.M2Bonnet: // n = 5f: byz, cured(symmetric), A, B, bystander
+		roles = []Role{RoleByzantine, RoleCured, RoleObserverA, RoleObserverB, RoleBystander}
+	case mobile.M3Sasaki: // n = 6f: byz, cured(asymmetric), A×2f, B×2f
+		roles = []Role{RoleByzantine, RoleCured, RoleObserverA, RoleObserverA, RoleObserverB, RoleObserverB}
+	case mobile.M4Buhrman: // n = 3f: byz, A, B (classical FLM)
+		roles = []Role{RoleByzantine, RoleObserverA, RoleObserverB}
+	}
+	s := &Scenario{Model: model, F: f, N: f * len(roles)}
+	if s.N != model.Bound(f) {
+		return nil, fmt.Errorf("lowerbound: internal: group layout gives n=%d, bound is %d", s.N, model.Bound(f))
+	}
+	next := 0
+	for _, role := range roles {
+		g := Group{Role: role}
+		for k := 0; k < f; k++ {
+			g.Ids = append(g.Ids, next)
+			next++
+		}
+		s.Groups = append(s.Groups, g)
+	}
+
+	// The three executions. In E1 every correct process proposes 0 and the
+	// adversary pushes 1; Validity forces output 0. E2 mirrors it. In E3
+	// observers A propose 0 and observers B propose 1; the adversary sends
+	// 0 toward A and 1 toward B, recreating E1's multiset at A and E2's at
+	// B. The cured group's stored state is 1 in E1/E3 and 0 in E2 (paper,
+	// proofs of Theorems 3 and 4).
+	nan := math.NaN()
+	s.Executions = [3]Execution{
+		{
+			Name: "E1",
+			Proposal: map[Role]float64{
+				RoleByzantine: nan, RoleCured: 1,
+				RoleObserverA: 0, RoleObserverB: 0, RoleBystander: 0,
+			},
+			AsymSend: map[Role]float64{
+				RoleByzantine: 1, RoleCured: 1,
+				RoleObserverA: 1, RoleObserverB: 1, RoleBystander: 1,
+			},
+		},
+		{
+			Name: "E2",
+			Proposal: map[Role]float64{
+				RoleByzantine: nan, RoleCured: 0,
+				RoleObserverA: 1, RoleObserverB: 1, RoleBystander: 1,
+			},
+			AsymSend: map[Role]float64{
+				RoleByzantine: 0, RoleCured: 0,
+				RoleObserverA: 0, RoleObserverB: 0, RoleBystander: 0,
+			},
+		},
+		{
+			Name: "E3",
+			Proposal: map[Role]float64{
+				RoleByzantine: nan, RoleCured: 1,
+				RoleObserverA: 0, RoleObserverB: 1, RoleBystander: 0,
+			},
+			AsymSend: map[Role]float64{
+				RoleByzantine: 0, RoleCured: 1,
+				RoleObserverA: 0, RoleObserverB: 1, RoleBystander: 0,
+			},
+		},
+	}
+	return s, nil
+}
+
+// View computes the multiset a member of receiverRole gathers in the given
+// execution, applying the model's send semantics:
+//
+//	byzantine group:  AsymSend[receiverRole] (asymmetric)
+//	cured group:      M1 silent; M2 Proposal[RoleCured] to everyone
+//	                  (symmetric); M3 AsymSend[receiverRole] (poisoned
+//	                  queue, asymmetric); M4 group absent
+//	correct groups:   their Proposal
+func (s *Scenario) View(e Execution, receiverRole Role) (multiset.Multiset, error) {
+	var values []float64
+	for _, g := range s.Groups {
+		var v float64
+		include := true
+		switch g.Role {
+		case RoleByzantine:
+			v = e.AsymSend[receiverRole]
+		case RoleCured:
+			switch s.Model {
+			case mobile.M1Garay:
+				include = false
+			case mobile.M2Bonnet:
+				v = e.Proposal[RoleCured]
+			case mobile.M3Sasaki:
+				v = e.AsymSend[receiverRole]
+			default:
+				return multiset.Multiset{}, fmt.Errorf("lowerbound: cured group under %v", s.Model)
+			}
+		default:
+			v = e.Proposal[g.Role]
+		}
+		if !include {
+			continue
+		}
+		for range g.Ids {
+			values = append(values, v)
+		}
+	}
+	return multiset.FromValues(values...)
+}
+
+// Report is the outcome of verifying a scenario.
+type Report struct {
+	Scenario *Scenario
+	// ViewAE3/ViewAE1: observer A's multisets in E3 and E1 (equal when
+	// the construction is sound); similarly for B with E2.
+	ViewAE3, ViewAE1 multiset.Multiset
+	ViewBE3, ViewBE2 multiset.Multiset
+	// IndistinguishableA/B report the multiset equalities.
+	IndistinguishableA, IndistinguishableB bool
+	// ForcedA/ForcedB are the outputs Validity forces in E1/E2 (0 and 1),
+	// which indistinguishability transports into E3.
+	ForcedA, ForcedB float64
+	// InputSpreadE3 and OutputSpreadE3 quantify the violation: Simple
+	// Approximate Agreement requires OutputSpread < InputSpread.
+	InputSpreadE3, OutputSpreadE3 float64
+	// Violated is true when the construction succeeds: outputs in E3 are
+	// as far apart as the inputs.
+	Violated bool
+}
+
+// Verify checks the indistinguishability structure and derives the
+// contradiction. It returns an error if a view cannot be built.
+func (s *Scenario) Verify() (*Report, error) {
+	e1, e2, e3 := s.Executions[0], s.Executions[1], s.Executions[2]
+	r := &Report{Scenario: s, ForcedA: 0, ForcedB: 1}
+	var err error
+	if r.ViewAE1, err = s.View(e1, RoleObserverA); err != nil {
+		return nil, err
+	}
+	if r.ViewAE3, err = s.View(e3, RoleObserverA); err != nil {
+		return nil, err
+	}
+	if r.ViewBE2, err = s.View(e2, RoleObserverB); err != nil {
+		return nil, err
+	}
+	if r.ViewBE3, err = s.View(e3, RoleObserverB); err != nil {
+		return nil, err
+	}
+	r.IndistinguishableA = r.ViewAE3.Equal(r.ViewAE1)
+	r.IndistinguishableB = r.ViewBE3.Equal(r.ViewBE2)
+
+	// Correct inputs in E3: observers A propose 0, observers B propose 1
+	// (plus bystanders at 0): spread 1.
+	r.InputSpreadE3 = 1
+	r.OutputSpreadE3 = math.Abs(r.ForcedB - r.ForcedA)
+	r.Violated = r.IndistinguishableA && r.IndistinguishableB &&
+		r.OutputSpreadE3 >= r.InputSpreadE3
+	return r, nil
+}
+
+// Demonstrate applies a concrete MSR algorithm to the E3 views, showing the
+// abstract contradiction as actual protocol outputs: observer A computes 0,
+// observer B computes 1, no contraction.
+func (s *Scenario) Demonstrate(algo msr.Algorithm) (outA, outB float64, err error) {
+	e3 := s.Executions[2]
+	viewA, err := s.View(e3, RoleObserverA)
+	if err != nil {
+		return 0, 0, err
+	}
+	viewB, err := s.View(e3, RoleObserverB)
+	if err != nil {
+		return 0, 0, err
+	}
+	tau := s.Model.Trim(s.F)
+	capTau := func(m multiset.Multiset) int {
+		if max := (m.Len() - 1) / 2; tau > max {
+			return max
+		}
+		return tau
+	}
+	if outA, err = algo.Apply(viewA, capTau(viewA)); err != nil {
+		return 0, 0, err
+	}
+	if outB, err = algo.Apply(viewB, capTau(viewB)); err != nil {
+		return 0, 0, err
+	}
+	return outA, outB, nil
+}

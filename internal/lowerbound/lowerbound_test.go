@@ -1,0 +1,196 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/multiset"
+)
+
+func TestBuildSizes(t *testing.T) {
+	want := map[mobile.Model]int{
+		mobile.M1Garay:   4,
+		mobile.M2Bonnet:  5,
+		mobile.M3Sasaki:  6,
+		mobile.M4Buhrman: 3,
+	}
+	for model, groups := range want {
+		for _, f := range []int{1, 2, 3} {
+			s, err := Build(model, f)
+			if err != nil {
+				t.Fatalf("%v f=%d: %v", model, f, err)
+			}
+			if s.N != groups*f {
+				t.Errorf("%v f=%d: n = %d, want %d", model, f, s.N, groups*f)
+			}
+			if s.N != model.Bound(f) {
+				t.Errorf("%v f=%d: scenario size %d is not the bound %d", model, f, s.N, model.Bound(f))
+			}
+			total := 0
+			for _, g := range s.Groups {
+				if len(g.Ids) != f {
+					t.Errorf("%v: group %v has %d members, want %d", model, g.Role, len(g.Ids), f)
+				}
+				total += len(g.Ids)
+			}
+			if total != s.N {
+				t.Errorf("%v: groups cover %d processes, want %d", model, total, s.N)
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(mobile.M1Garay, 0); err == nil {
+		t.Error("f=0 accepted")
+	}
+	if _, err := Build(mobile.Model(9), 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// TestPaperMultisets pins the f=1 views to the exact multisets in the
+// paper's proofs of Theorems 3 and 4.
+func TestPaperMultisets(t *testing.T) {
+	s, err := Build(mobile.M1Garay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 3: "The multiset held by p2 is {0,0,1}" (E3 = E1 view);
+	// "the multiset gathered by p3 in E3 is {1,0,1}".
+	viewA, err := s.View(s.Executions[2], RoleObserverA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viewA.Equal(multiset.MustFromValues(0, 0, 1)) {
+		t.Errorf("M1 E3 view at A = %v, want {0,0,1}", viewA)
+	}
+	viewB, err := s.View(s.Executions[2], RoleObserverB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viewB.Equal(multiset.MustFromValues(0, 1, 1)) {
+		t.Errorf("M1 E3 view at B = %v, want {0,1,1}", viewB)
+	}
+
+	// Theorem 4: "p2 gathers the multiset {1,1,0,0,0}" and "p3 gathers
+	// the multi-set {0,0,1,1,1}".
+	s2, err := Build(mobile.M2Bonnet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewA2, err := s2.View(s2.Executions[2], RoleObserverA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viewA2.Equal(multiset.MustFromValues(0, 0, 0, 1, 1)) {
+		t.Errorf("M2 E3 view at A = %v, want {0,0,0,1,1}", viewA2)
+	}
+	viewB2, err := s2.View(s2.Executions[2], RoleObserverB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viewB2.Equal(multiset.MustFromValues(0, 0, 1, 1, 1)) {
+		t.Errorf("M2 E3 view at B = %v, want {0,0,1,1,1}", viewB2)
+	}
+}
+
+func TestVerifyAllTheorems(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		for _, f := range []int{1, 2, 3} {
+			s, err := Build(model, f)
+			if err != nil {
+				t.Fatalf("%v f=%d: %v", model, f, err)
+			}
+			rep, err := s.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.IndistinguishableA {
+				t.Errorf("%v f=%d: A's E3 view %v != E1 view %v", model, f, rep.ViewAE3, rep.ViewAE1)
+			}
+			if !rep.IndistinguishableB {
+				t.Errorf("%v f=%d: B's E3 view %v != E2 view %v", model, f, rep.ViewBE3, rep.ViewBE2)
+			}
+			if !rep.Violated {
+				t.Errorf("%v f=%d: construction failed to violate agreement", model, f)
+			}
+			if rep.OutputSpreadE3 < rep.InputSpreadE3 {
+				t.Errorf("%v f=%d: output spread %g < input spread %g",
+					model, f, rep.OutputSpreadE3, rep.InputSpreadE3)
+			}
+		}
+	}
+}
+
+func TestDemonstrateDisagreement(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		for _, algo := range msr.All() {
+			s, err := Build(model, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outA, outB, err := s.Demonstrate(algo)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", model, algo.Name(), err)
+			}
+			// Every MSR member is deterministic and sees E1's (resp.
+			// E2's) multiset, so it must output what Validity forced
+			// there: 0 and 1.
+			if outA != 0 || outB != 1 {
+				t.Errorf("%v/%s: outputs %g, %g; want 0, 1", model, algo.Name(), outA, outB)
+			}
+			if math.Abs(outB-outA) < 1 {
+				t.Errorf("%v/%s: no violation demonstrated", model, algo.Name())
+			}
+		}
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	want := map[Role]string{
+		RoleByzantine: "byzantine",
+		RoleCured:     "cured",
+		RoleObserverA: "observerA",
+		RoleObserverB: "observerB",
+		RoleBystander: "bystander",
+		Role(42):      "Role(42)",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+}
+
+// TestValidityForcesE1E2 checks the premise of the contradiction: in E1
+// every correct process sees a multiset whose trimmed survivors are all 0,
+// so every MSR algorithm outputs exactly 0 (and 1 in E2).
+func TestValidityForcesE1E2(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		s, err := Build(model, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau := model.Trim(1)
+		for _, role := range []Role{RoleObserverA, RoleObserverB} {
+			v1, err := s.View(s.Executions[0], role)
+			if err != nil {
+				t.Fatal(err)
+			}
+			capped := tau
+			if max := (v1.Len() - 1) / 2; capped > max {
+				capped = max
+			}
+			out, err := msr.FTA{}.Apply(v1, capped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != 0 {
+				t.Errorf("%v E1 at %v: FTA = %g, want 0", model, role, out)
+			}
+		}
+	}
+}

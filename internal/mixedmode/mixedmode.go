@@ -1,0 +1,91 @@
+// Package mixedmode implements the static Mixed-Mode fault model of
+// Kieckhafer & Azadmanesh (IEEE TPDS 1994), the target of the paper's
+// mapping from Mobile Byzantine Fault models (paper §4, Table 1).
+//
+// Faults are partitioned into three classes:
+//
+//   - Benign: self-incriminating, immediately evident to every non-faulty
+//     process (e.g. a detectable omission in a synchronous round).
+//   - Symmetric: erroneous but perceived identically by all non-faulty
+//     processes (e.g. broadcasting one wrong value to everyone).
+//   - Asymmetric: classical Byzantine — possibly different behaviour toward
+//     different non-faulty processes.
+//
+// MSR algorithms tolerate a asymmetric, s symmetric and b benign faults iff
+// n > 3a + 2s + b.
+package mixedmode
+
+import "fmt"
+
+// Class labels the fault class of one process's behaviour in one round.
+// ClassCorrect means the behaviour was indistinguishable from the protocol's
+// prescription.
+type Class int
+
+// Fault classes, ordered from most benign to most severe.
+const (
+	ClassCorrect Class = iota + 1
+	ClassBenign
+	ClassSymmetric
+	ClassAsymmetric
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCorrect:
+		return "correct"
+	case ClassBenign:
+		return "benign"
+	case ClassSymmetric:
+		return "symmetric"
+	case ClassAsymmetric:
+		return "asymmetric"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Counts is a mixed-mode fault census (a, s, b) for one round.
+type Counts struct {
+	Asymmetric int // a
+	Symmetric  int // s
+	Benign     int // b
+}
+
+// Threshold returns 3a + 2s + b; the MSR bound requires n > Threshold.
+func (c Counts) Threshold() int {
+	return 3*c.Asymmetric + 2*c.Symmetric + c.Benign
+}
+
+// Satisfied reports whether n processes tolerate this fault census, i.e.
+// n > 3a + 2s + b.
+func (c Counts) Satisfied(n int) bool { return n > c.Threshold() }
+
+// RequiredN returns the minimal number of processes tolerating this census.
+func (c Counts) RequiredN() int { return c.Threshold() + 1 }
+
+// Total returns a + s + b, the number of non-correct processes.
+func (c Counts) Total() int { return c.Asymmetric + c.Symmetric + c.Benign }
+
+// Add returns the component-wise sum of two censuses.
+func (c Counts) Add(other Counts) Counts {
+	return Counts{
+		Asymmetric: c.Asymmetric + other.Asymmetric,
+		Symmetric:  c.Symmetric + other.Symmetric,
+		Benign:     c.Benign + other.Benign,
+	}
+}
+
+// String implements fmt.Stringer in the paper's (a, s, b) order.
+func (c Counts) String() string {
+	return fmt.Sprintf("(a=%d, s=%d, b=%d)", c.Asymmetric, c.Symmetric, c.Benign)
+}
+
+// Validate returns an error if any component is negative.
+func (c Counts) Validate() error {
+	if c.Asymmetric < 0 || c.Symmetric < 0 || c.Benign < 0 {
+		return fmt.Errorf("mixedmode: negative fault count %v", c)
+	}
+	return nil
+}

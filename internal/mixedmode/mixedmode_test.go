@@ -1,0 +1,239 @@
+package mixedmode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountsThreshold(t *testing.T) {
+	tests := []struct {
+		c    Counts
+		want int
+	}{
+		{Counts{}, 0},
+		{Counts{Asymmetric: 1}, 3},
+		{Counts{Symmetric: 1}, 2},
+		{Counts{Benign: 1}, 1},
+		{Counts{Asymmetric: 2, Symmetric: 1, Benign: 3}, 11},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Threshold(); got != tt.want {
+			t.Errorf("%v.Threshold() = %d, want %d", tt.c, got, tt.want)
+		}
+		if tt.c.RequiredN() != tt.want+1 {
+			t.Errorf("%v.RequiredN() = %d, want %d", tt.c, tt.c.RequiredN(), tt.want+1)
+		}
+		if tt.c.Satisfied(tt.want) {
+			t.Errorf("%v should not be satisfied at n = threshold", tt.c)
+		}
+		if !tt.c.Satisfied(tt.want + 1) {
+			t.Errorf("%v should be satisfied at n = threshold+1", tt.c)
+		}
+	}
+}
+
+func TestCountsAddTotalValidate(t *testing.T) {
+	a := Counts{Asymmetric: 1, Symmetric: 2, Benign: 3}
+	b := Counts{Asymmetric: 4, Benign: 1}
+	sum := a.Add(b)
+	if sum != (Counts{Asymmetric: 5, Symmetric: 2, Benign: 4}) {
+		t.Errorf("Add = %v", sum)
+	}
+	if a.Total() != 6 {
+		t.Errorf("Total = %d, want 6", a.Total())
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("valid counts rejected: %v", err)
+	}
+	if err := (Counts{Asymmetric: -1}).Validate(); err == nil {
+		t.Error("negative counts accepted")
+	}
+	if got := a.String(); got != "(a=1, s=2, b=3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassCorrect:    "correct",
+		ClassBenign:     "benign",
+		ClassSymmetric:  "symmetric",
+		ClassAsymmetric: "asymmetric",
+		Class(99):       "Class(99)",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}
+
+func TestMatrixBounds(t *testing.T) {
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("NewMatrix(0) should fail")
+	}
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 {
+		t.Errorf("N = %d", m.N())
+	}
+	if err := m.Record(3, 0, Observation{}); err == nil {
+		t.Error("out-of-range receiver accepted")
+	}
+	if err := m.Record(0, -1, Observation{}); err == nil {
+		t.Error("out-of-range sender accepted")
+	}
+	if _, err := m.At(0, 5); err == nil {
+		t.Error("out-of-range At accepted")
+	}
+	// Default state: everything omitted.
+	o, err := m.At(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Omitted {
+		t.Error("fresh matrix entries should be Omitted")
+	}
+}
+
+// record is a test helper filling one sender's column.
+func record(t *testing.T, m *Matrix, sender int, values map[int]float64) {
+	t.Helper()
+	for r, v := range values {
+		if err := m.Record(r, sender, Observation{Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClassifySender(t *testing.T) {
+	m, err := NewMatrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receivers := []int{1, 2, 3}
+	// Sender 0: silent → benign.
+	got, err := m.ClassifySender(0, receivers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ClassBenign {
+		t.Errorf("silent sender = %v, want benign", got)
+	}
+	// Sender 1: uniform expected value → correct.
+	record(t, m, 1, map[int]float64{1: 5, 2: 5, 3: 5})
+	if got, _ = m.ClassifySender(1, receivers, 5); got != ClassCorrect {
+		t.Errorf("honest sender = %v, want correct", got)
+	}
+	// Sender 2: uniform wrong value → symmetric.
+	record(t, m, 2, map[int]float64{1: 9, 2: 9, 3: 9})
+	if got, _ = m.ClassifySender(2, receivers, 5); got != ClassSymmetric {
+		t.Errorf("uniform liar = %v, want symmetric", got)
+	}
+	// Sender 3: mixed values → asymmetric.
+	record(t, m, 3, map[int]float64{1: 1, 2: 2, 3: 2})
+	if got, _ = m.ClassifySender(3, receivers, 5); got != ClassAsymmetric {
+		t.Errorf("two-faced sender = %v, want asymmetric", got)
+	}
+}
+
+func TestClassifyPartialOmissionIsAsymmetric(t *testing.T) {
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender 0 reaches receiver 1 but not receiver 2: perceived
+	// differently by different correct processes.
+	record(t, m, 0, map[int]float64{1: 5})
+	got, err := m.ClassifySender(0, []int{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ClassAsymmetric {
+		t.Errorf("partial omission = %v, want asymmetric", got)
+	}
+}
+
+func TestClassifyNaNExpected(t *testing.T) {
+	// NaN expected (faulty sender: correct value unknowable) can never
+	// classify as correct.
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, m, 0, map[int]float64{1: 5, 2: 5})
+	got, err := m.ClassifySender(0, []int{1, 2}, math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ClassSymmetric {
+		t.Errorf("uniform value vs NaN expected = %v, want symmetric", got)
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ClassifySender(0, nil, 1); err == nil {
+		t.Error("no receivers accepted")
+	}
+	if _, err := m.ClassifySender(9, []int{0}, 1); err == nil {
+		t.Error("bad sender accepted")
+	}
+	if _, err := m.ClassifySender(0, []int{9}, 1); err == nil {
+		t.Error("bad receiver accepted")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	m, err := NewMatrix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receivers := []int{3, 4}
+	// 0: correct; 1: symmetric; 2: asymmetric; 3: benign (silent);
+	// 4: correct.
+	record(t, m, 0, map[int]float64{3: 1, 4: 1})
+	record(t, m, 1, map[int]float64{3: 7, 4: 7})
+	record(t, m, 2, map[int]float64{3: 1, 4: 2})
+	record(t, m, 4, map[int]float64{3: 2, 4: 2})
+	expected := []float64{1, 1, 1, 1, 2}
+	counts, classes, err := m.Census(receivers, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts != (Counts{Asymmetric: 1, Symmetric: 1, Benign: 1}) {
+		t.Errorf("census = %v", counts)
+	}
+	wantClasses := []Class{ClassCorrect, ClassSymmetric, ClassAsymmetric, ClassBenign, ClassCorrect}
+	for i, want := range wantClasses {
+		if classes[i] != want {
+			t.Errorf("classes[%d] = %v, want %v", i, classes[i], want)
+		}
+	}
+	if _, _, err := m.Census(receivers, []float64{1}); err == nil {
+		t.Error("short expected slice accepted")
+	}
+}
+
+// Property: the bound predicate is monotone in n and anti-monotone in each
+// fault count.
+func TestQuickBoundMonotone(t *testing.T) {
+	f := func(a, s, b uint8, n uint16) bool {
+		c := Counts{Asymmetric: int(a % 8), Symmetric: int(s % 8), Benign: int(b % 8)}
+		nn := int(n%64) + 1
+		if c.Satisfied(nn) && !c.Satisfied(nn+1) {
+			return false
+		}
+		harder := c.Add(Counts{Asymmetric: 1})
+		return !(harder.Satisfied(nn) && !c.Satisfied(nn))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package mobile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mbfaa/internal/msr"
+	"mbfaa/internal/prng"
+)
+
+// View is the omniscient snapshot the engine hands the adversary at each
+// decision point. Mobile Byzantine agents are computationally unbounded and
+// see everything, so the adversary gets full state; it must NOT mutate any
+// slice it is given (the engine passes defensive copies to honour that even
+// against buggy adversaries).
+type View struct {
+	// Round is the current round index, starting at 0.
+	Round int
+	// Model is the fault model in force.
+	Model Model
+	// N and F are the process count and agent count.
+	N, F int
+	// Tau is the trim parameter the protocol uses this run.
+	Tau int
+	// Algo is the voting function the protocol applies each round. An
+	// omniscient adversary knows the algorithm under attack; the greedy
+	// adversary simulates it to score candidate strategies.
+	Algo msr.Algorithm
+	// Votes holds every process's current stored value. Entries for faulty
+	// processes are whatever the agent last wrote (NaN until then).
+	Votes []float64
+	// States holds every process's failure state at the time of the call.
+	States []State
+	// Rng is a deterministic per-round random stream for randomized
+	// adversaries. It is derived from the run seed, the round, and the
+	// call site, so deterministic and concurrent engines agree.
+	Rng *prng.Source
+
+	// Cached CorrectRange result. A View is immutable once handed to the
+	// adversary, and adversaries query the range per (sender, receiver)
+	// pair — without the cache that is an O(f·n²) scan per round, which
+	// dominates large-n simulations.
+	rangeDone        bool
+	rangeLo, rangeHi float64
+	rangeOK          bool
+}
+
+// CorrectRange returns the min and max vote over processes currently
+// correct. ok is false when no process is correct (cannot happen when the
+// replica bound holds, but the adversary API does not assume it).
+func (v *View) CorrectRange() (lo, hi float64, ok bool) {
+	if v.rangeDone {
+		return v.rangeLo, v.rangeHi, v.rangeOK
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i, s := range v.States {
+		if s != StateCorrect || math.IsNaN(v.Votes[i]) {
+			continue
+		}
+		lo = math.Min(lo, v.Votes[i])
+		hi = math.Max(hi, v.Votes[i])
+		ok = true
+	}
+	if !ok {
+		lo, hi = 0, 0
+	}
+	v.rangeDone, v.rangeLo, v.rangeHi, v.rangeOK = true, lo, hi, ok
+	return lo, hi, ok
+}
+
+// Adversary is the full interface a mobile Byzantine adversary implements.
+// The engine invokes it at the points the model grants the adversary power:
+// agent placement, faulty sends, the state left behind on departure, and —
+// in M3 — the poisoned outgoing queue of a cured process. Implementations
+// must be deterministic given the View (including its Rng).
+type Adversary interface {
+	// Name is the identifier used by flags and reports.
+	Name() string
+
+	// Place returns the indices of the processes the f agents occupy for
+	// the coming round. Returning fewer than f indices leaves the
+	// remaining agents parked off-system (fewer faults — always allowed).
+	// Indices out of range or duplicated are rejected by the engine.
+	//
+	// For M1–M3 the engine calls Place at the start of each round; for M4
+	// between the send and receive phases (agents travel with messages).
+	// Round 0's call sets the initial corruption for every model.
+	Place(v *View) []int
+
+	// FaultyValue returns the value the faulty process sends to receiver
+	// in this round's send phase, or omit=true to send nothing.
+	FaultyValue(v *View, faulty, receiver int) (value float64, omit bool)
+
+	// LeaveBehind returns the corrupted local value the departing agent
+	// writes into process p's state. In M2 this is exactly the value the
+	// cured process will broadcast next round; in the other models it is
+	// overwritten before it can do damage but is recorded for the trace.
+	LeaveBehind(v *View, p int) float64
+
+	// QueueValue returns the value cured process `cured` sends to receiver
+	// out of its agent-prepared outgoing queue (M3 only), or omit=true for
+	// silence. The engine only consults it under M3Sasaki.
+	QueueValue(v *View, cured, receiver int) (value float64, omit bool)
+}
+
+// ValidatePlacement checks an adversary's placement against the system
+// parameters: at most f distinct, in-range indices. It returns a cleaned
+// (sorted, deduplicated) copy.
+func ValidatePlacement(placement []int, n, f int) ([]int, error) {
+	if len(placement) > f {
+		return nil, fmt.Errorf("mobile: adversary placed %d agents, only has %d", len(placement), f)
+	}
+	out := make([]int, 0, len(placement))
+	seen := make(map[int]bool, len(placement))
+	for _, p := range placement {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("mobile: agent placement %d out of range [0,%d)", p, n)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("mobile: duplicate agent placement %d", p)
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ByAdversaryName constructs a registered adversary by name. Randomized
+// adversaries draw from View.Rng, so no seed is needed here.
+func ByAdversaryName(name string) (Adversary, error) {
+	switch name {
+	case "splitter":
+		return NewSplitter(), nil
+	case "rotating":
+		return NewRotating(), nil
+	case "stationary":
+		return NewStationary(), nil
+	case "random":
+		return NewRandom(), nil
+	case "crash":
+		return NewCrash(), nil
+	case "greedy":
+		return NewGreedy(), nil
+	default:
+		return nil, fmt.Errorf("mobile: unknown adversary %q (have %v)", name, AdversaryNames())
+	}
+}
+
+// AdversaryNames lists the registered adversary names.
+func AdversaryNames() []string {
+	return []string{"crash", "greedy", "random", "rotating", "splitter", "stationary"}
+}

@@ -1,0 +1,189 @@
+package mobile
+
+import (
+	"math"
+
+	"mbfaa/internal/multiset"
+)
+
+// Greedy is a one-round-lookahead adversary: each round it simulates the
+// protocol's computation phase under a small set of candidate value
+// strategies and commits to the one that maximizes the next-round diameter
+// of non-faulty values. It is the empirical worst-case probe used by the
+// algorithm-ablation experiment (F3): its measured contraction factors
+// lower-bound how badly each MSR member can be hurt.
+//
+// Placement follows the splitter's maximum-pressure schedule (ping-pong
+// pool for M1–M3, lowest-vote rotation for M4); the search is over value
+// strategies only, because the departing agent must fix LeaveBehind one
+// round before the value is broadcast and cannot search retroactively.
+type Greedy struct {
+	chosen  valueRule
+	haveEra bool
+	era     int // round the chosen rule was computed for
+}
+
+// NewGreedy returns a fresh greedy adversary. Greedy is stateful and must
+// not be reused across runs.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Adversary.
+func (g *Greedy) Name() string { return "greedy" }
+
+// valueRule is one candidate strategy: what a faulty (or M3-cured) process
+// sends to each receiver.
+type valueRule int
+
+const (
+	ruleCampSplit valueRule = iota + 1 // lo to low camp, hi to high camp
+	ruleInverted                       // hi to low camp, lo to high camp
+	ruleAllLo                          // lo to everyone
+	ruleAllHi                          // hi to everyone
+)
+
+var allValueRules = []valueRule{ruleCampSplit, ruleInverted, ruleAllLo, ruleAllHi}
+
+// apply returns the value the rule prescribes for a receiver.
+func (r valueRule) apply(v *View, receiver int) float64 {
+	lo, hi, ok := v.CorrectRange()
+	if !ok {
+		return 0
+	}
+	vote := v.Votes[receiver]
+	low := math.IsNaN(vote) || vote <= (lo+hi)/2
+	switch r {
+	case ruleCampSplit:
+		if low {
+			return lo
+		}
+		return hi
+	case ruleInverted:
+		if low {
+			return hi
+		}
+		return lo
+	case ruleAllLo:
+		return lo
+	default:
+		return hi
+	}
+}
+
+// Place implements Adversary with the splitter's schedule.
+func (g *Greedy) Place(v *View) []int {
+	if v.F == 0 {
+		return nil
+	}
+	if v.Model == M4Buhrman && v.Round > 0 {
+		s := &Splitter{}
+		s.pin(v)
+		return s.placeM4(v)
+	}
+	if 2*v.F <= v.N {
+		out := make([]int, 0, v.F)
+		start := 0
+		if v.Round%2 == 1 {
+			start = v.F
+		}
+		for i := 0; i < v.F; i++ {
+			out = append(out, start+i)
+		}
+		return out
+	}
+	out := make([]int, 0, v.F)
+	for i := 0; i < v.F && i < v.N; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// decide runs the lookahead once per round and caches the winning rule.
+func (g *Greedy) decide(v *View) valueRule {
+	if g.haveEra && g.era == v.Round {
+		return g.chosen
+	}
+	best, bestDiam := ruleCampSplit, math.Inf(-1)
+	for _, rule := range allValueRules {
+		d := g.simulate(v, rule)
+		if d > bestDiam {
+			best, bestDiam = rule, d
+		}
+	}
+	g.chosen, g.era, g.haveEra = best, v.Round, true
+	return best
+}
+
+// simulate plays the round's send/receive/compute under the candidate rule
+// and returns the post-round diameter of non-faulty computed values. The
+// send semantics mirror the engine's (see core.Engine); the duplication is
+// deliberate — the adversary's model of the protocol is its own.
+func (g *Greedy) simulate(v *View, rule valueRule) float64 {
+	if v.Algo == nil {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	any := false
+	for i, si := range v.States {
+		if si == StateFaulty {
+			continue
+		}
+		values := make([]float64, 0, v.N)
+		for j, sj := range v.States {
+			switch sj {
+			case StateFaulty:
+				values = append(values, rule.apply(v, i))
+			case StateCured:
+				switch v.Model {
+				case M1Garay:
+					// silent
+				case M2Bonnet:
+					values = append(values, v.Votes[j])
+				case M3Sasaki:
+					values = append(values, rule.apply(v, i))
+				case M4Buhrman:
+					values = append(values, v.Votes[j])
+				}
+			default:
+				values = append(values, v.Votes[j])
+			}
+		}
+		ms, err := multiset.FromValues(values...)
+		if err != nil {
+			continue
+		}
+		next, err := v.Algo.Apply(ms, v.Tau)
+		if err != nil {
+			continue
+		}
+		lo = math.Min(lo, next)
+		hi = math.Max(hi, next)
+		any = true
+	}
+	if !any {
+		return 0
+	}
+	return hi - lo
+}
+
+// FaultyValue implements Adversary.
+func (g *Greedy) FaultyValue(v *View, faulty, receiver int) (float64, bool) {
+	return g.decide(v).apply(v, receiver), false
+}
+
+// LeaveBehind implements Adversary: park the corrupted state at the correct
+// maximum (the splitter's choice; searching here would require two-round
+// lookahead for no observed gain).
+func (g *Greedy) LeaveBehind(v *View, p int) float64 {
+	_, hi, ok := v.CorrectRange()
+	if !ok {
+		return 0
+	}
+	return hi
+}
+
+// QueueValue implements Adversary (M3): the queue follows the chosen rule.
+func (g *Greedy) QueueValue(v *View, cured, receiver int) (float64, bool) {
+	return g.decide(v).apply(v, receiver), false
+}
+
+var _ Adversary = (*Greedy)(nil)

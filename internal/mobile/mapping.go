@@ -1,0 +1,82 @@
+package mobile
+
+import (
+	"fmt"
+
+	"mbfaa/internal/mixedmode"
+)
+
+// MixedModeCensus maps a mobile round configuration (f agents, cured cured
+// processes) to the equivalent static Mixed-Mode fault census, exactly as
+// the paper's Table 1 / Lemmas 1–4 prescribe:
+//
+//	M1: a = f, b = cured   (silent cured are benign: self-evident omission)
+//	M2: a = f, s = cured   (cured broadcast one corrupted value: symmetric)
+//	M3: a = f + cured      (poisoned queues make cured asymmetric)
+//	M4: a = f              (no cured processes exist during the send phase)
+func (m Model) MixedModeCensus(f, cured int) (mixedmode.Counts, error) {
+	if f < 0 || cured < 0 {
+		return mixedmode.Counts{}, fmt.Errorf("mobile: negative counts f=%d cured=%d", f, cured)
+	}
+	switch m {
+	case M1Garay:
+		return mixedmode.Counts{Asymmetric: f, Benign: cured}, nil
+	case M2Bonnet:
+		return mixedmode.Counts{Asymmetric: f, Symmetric: cured}, nil
+	case M3Sasaki:
+		return mixedmode.Counts{Asymmetric: f + cured}, nil
+	case M4Buhrman:
+		if cured != 0 {
+			return mixedmode.Counts{}, fmt.Errorf("mobile: M4 has no cured processes at send time, got %d", cured)
+		}
+		return mixedmode.Counts{Asymmetric: f}, nil
+	default:
+		return mixedmode.Counts{}, fmt.Errorf("mobile: invalid model %v", m)
+	}
+}
+
+// CuredClass returns the Mixed-Mode class a cured process's send-phase
+// behaviour exhibits under this model (Table 1's "cured" column).
+// For M4 it returns ClassCorrect: cured processes do not exist during the
+// send phase, and a process the agent left behaves correctly.
+func (m Model) CuredClass() mixedmode.Class {
+	switch m {
+	case M1Garay:
+		return mixedmode.ClassBenign
+	case M2Bonnet:
+		return mixedmode.ClassSymmetric
+	case M3Sasaki:
+		return mixedmode.ClassAsymmetric
+	case M4Buhrman:
+		return mixedmode.ClassCorrect
+	default:
+		return 0
+	}
+}
+
+// FaultyClass returns the Mixed-Mode class of a currently occupied process:
+// always asymmetric (the agent sends arbitrary per-receiver values).
+func (m Model) FaultyClass() mixedmode.Class { return mixedmode.ClassAsymmetric }
+
+// AsymmetricSenders returns the number of senders whose values two correct
+// receivers can perceive differently in the model's worst reachable round:
+// the asymmetric component of the worst-case census (f for M1, M2, M4;
+// 2f for M3, where the poisoned cured queues are asymmetric too). It drives
+// the contraction guarantees of msr.Algorithm.
+func (m Model) AsymmetricSenders(f int) int {
+	if m == M3Sasaki {
+		return 2 * f
+	}
+	return f
+}
+
+// WorstCaseCensus returns the census of the worst reachable round
+// configuration (f faulty, f cured for M1–M3; f faulty for M4), whose
+// RequiredN reproduces Table 2.
+func (m Model) WorstCaseCensus(f int) (mixedmode.Counts, error) {
+	cured := f
+	if m == M4Buhrman {
+		cured = 0
+	}
+	return m.MixedModeCensus(f, cured)
+}

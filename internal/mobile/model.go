@@ -1,0 +1,151 @@
+// Package mobile implements the four synchronous Mobile Byzantine Fault
+// (MBF) models the paper analyses (§3), the mapping from mobile fault
+// configurations to static Mixed-Mode fault censuses (§4, Table 1), the
+// replica bounds of Table 2, and a suite of omniscient adversaries
+// including the two-camp "splitter" strategy behind the lower-bound
+// theorems (§6).
+//
+// In every model, f computationally unbounded Byzantine agents move among
+// the n processes. A process currently hosting an agent is faulty; a
+// process the agent just left is cured for one round; all others are
+// correct. The models differ in when agents move and in what a cured
+// process does during the send phase:
+//
+//	M1 (Garay):   agents move at round start; cured processes KNOW they are
+//	              cured and stay silent for one round.            n > 4f
+//	M2 (Bonnet):  agents move at round start; cured processes do not know,
+//	              and broadcast their (corrupted) stored value — the same
+//	              value to everybody (a symmetric fault).          n > 5f
+//	M3 (Sasaki):  agents move at round start; the departing agent leaves a
+//	              poisoned outgoing queue, so the cured process sends
+//	              attacker-chosen, per-receiver values (asymmetric). n > 6f
+//	M4 (Buhrman): agents move WITH the messages; during the send phase
+//	              there are no cured processes, and a process the agent
+//	              left computed that round's value correctly.      n > 3f
+package mobile
+
+import "fmt"
+
+// Model identifies one of the four Mobile Byzantine Fault models.
+type Model int
+
+// The four models, numbered as in the paper.
+const (
+	M1Garay Model = iota + 1
+	M2Bonnet
+	M3Sasaki
+	M4Buhrman
+)
+
+// AllModels returns the four models in paper order.
+func AllModels() []Model { return []Model{M1Garay, M2Bonnet, M3Sasaki, M4Buhrman} }
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case M1Garay:
+		return "M1 (Garay)"
+	case M2Bonnet:
+		return "M2 (Bonnet et al.)"
+	case M3Sasaki:
+		return "M3 (Sasaki et al.)"
+	case M4Buhrman:
+		return "M4 (Buhrman et al.)"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Short returns the compact identifier used in flags and CSV headers.
+func (m Model) Short() string {
+	switch m {
+	case M1Garay:
+		return "M1"
+	case M2Bonnet:
+		return "M2"
+	case M3Sasaki:
+		return "M3"
+	case M4Buhrman:
+		return "M4"
+	default:
+		return fmt.Sprintf("M?%d", int(m))
+	}
+}
+
+// ByName parses "M1".."M4" (case-sensitive) into a Model.
+func ByName(name string) (Model, error) {
+	for _, m := range AllModels() {
+		if m.Short() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("mobile: unknown model %q (have M1, M2, M3, M4)", name)
+}
+
+// Valid reports whether m is one of the four defined models.
+func (m Model) Valid() bool { return m >= M1Garay && m <= M4Buhrman }
+
+// CuredAware reports whether a cured process knows its own state (and can
+// therefore take preventive action). True for M1 and M4.
+func (m Model) CuredAware() bool { return m == M1Garay || m == M4Buhrman }
+
+// MovesWithMessages reports whether agents move together with the send
+// operation (M4) rather than at the beginning of the round (M1–M3).
+func (m Model) MovesWithMessages() bool { return m == M4Buhrman }
+
+// Bound returns the paper's Table 2 threshold: Approximate Agreement is
+// solvable iff n > Bound(f). (4f, 5f, 6f, 3f for M1..M4.)
+func (m Model) Bound(f int) int {
+	switch m {
+	case M1Garay:
+		return 4 * f
+	case M2Bonnet:
+		return 5 * f
+	case M3Sasaki:
+		return 6 * f
+	case M4Buhrman:
+		return 3 * f
+	default:
+		return 0
+	}
+}
+
+// RequiredN returns the minimal n solving Approximate Agreement with f
+// agents: Bound(f)+1.
+func (m Model) RequiredN(f int) int { return m.Bound(f) + 1 }
+
+// MaxFaulty returns the largest number of agents tolerable with n
+// processes, i.e. the largest f with n > Bound(f).
+func (m Model) MaxFaulty(n int) int {
+	switch m {
+	case M1Garay:
+		return (n - 1) / 4
+	case M2Bonnet:
+		return (n - 1) / 5
+	case M3Sasaki:
+		return (n - 1) / 6
+	case M4Buhrman:
+		return (n - 1) / 3
+	default:
+		return 0
+	}
+}
+
+// Trim returns τ, the per-end reduction count the MSR algorithms must use
+// under this model: it covers every value that can be erroneous in a
+// received multiset (asymmetric + symmetric senders, Table 1).
+//
+//	M1: faulty only (cured are silent)            → f
+//	M2: faulty + cured symmetric                  → 2f
+//	M3: faulty + cured asymmetric                 → 2f
+//	M4: faulty only (no cured during send)        → f
+func (m Model) Trim(f int) int {
+	switch m {
+	case M1Garay, M4Buhrman:
+		return f
+	case M2Bonnet, M3Sasaki:
+		return 2 * f
+	default:
+		return 0
+	}
+}

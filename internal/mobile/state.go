@@ -1,0 +1,61 @@
+package mobile
+
+import "fmt"
+
+// State is a process's failure state in one round, as defined in §3: a
+// process hosting an agent is faulty, a process the agent left in the
+// previous round is cured, every other process is correct.
+type State int
+
+// Failure states.
+const (
+	StateCorrect State = iota + 1
+	StateCured
+	StateFaulty
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateCorrect:
+		return "correct"
+	case StateCured:
+		return "cured"
+	case StateFaulty:
+		return "faulty"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Census counts the states in a round assignment.
+type Census struct {
+	Correct, Cured, Faulty int
+}
+
+// CountStates tallies a state assignment.
+func CountStates(states []State) Census {
+	var c Census
+	for _, s := range states {
+		switch s {
+		case StateCured:
+			c.Cured++
+		case StateFaulty:
+			c.Faulty++
+		default:
+			c.Correct++
+		}
+	}
+	return c
+}
+
+// IdsInState returns the (sorted) indices currently in state want.
+func IdsInState(states []State, want State) []int {
+	var ids []int
+	for i, s := range states {
+		if s == want {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,37 @@
+package msr
+
+import (
+	"testing"
+
+	"mbfaa/internal/multiset"
+	"mbfaa/internal/prng"
+)
+
+// benchMultiset builds an n-value multiset once.
+func benchMultiset(b *testing.B, n int) multiset.Multiset {
+	b.Helper()
+	rng := prng.New(7)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Range(0, 1)
+	}
+	return multiset.MustFromValues(values...)
+}
+
+// BenchmarkApply measures one voting-function evaluation — the per-process
+// per-round cost of the protocol's computation phase.
+func BenchmarkApply(b *testing.B) {
+	const n = 128
+	m := benchMultiset(b, n)
+	tau := n / 5
+	for _, algo := range All() {
+		b.Run(algo.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := algo.Apply(m, tau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

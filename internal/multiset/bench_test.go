@@ -1,0 +1,61 @@
+package multiset
+
+import (
+	"testing"
+
+	"mbfaa/internal/prng"
+)
+
+// benchValues returns n pseudo-random values.
+func benchValues(n int) []float64 {
+	rng := prng.New(42)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Range(-1000, 1000)
+	}
+	return out
+}
+
+func BenchmarkFromValues(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		values := benchValues(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := FromValues(values...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTrimMean(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		m := MustFromValues(benchValues(n)...)
+		tau := n / 4
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				red, err := m.Trim(tau)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := red.Mean(); !ok {
+					b.Fatal("empty")
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 16:
+		return "n=16"
+	case 128:
+		return "n=128"
+	default:
+		return "n=1024"
+	}
+}

@@ -1,0 +1,312 @@
+// Package multiset implements the sorted real-valued multisets that
+// approximate-agreement algorithms operate on, with the exact vocabulary of
+// §5.1 of the paper (which in turn follows Dolev et al. and Kieckhafer &
+// Azadmanesh): min, max, range ρ(V), diameter δ(V), reduction (trimming),
+// subsequence selection, and mean.
+//
+// A Multiset is an immutable, always-sorted slice of float64. All operations
+// return new Multisets; none mutate the receiver. NaN values are rejected at
+// construction because no total order contains them.
+package multiset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrNaN is returned by FromValues when an input value is NaN.
+var ErrNaN = errors.New("multiset: NaN value has no place in a sorted multiset")
+
+// Multiset is an immutable sorted multiset of real values.
+//
+// The zero value is the empty multiset and is ready to use.
+type Multiset struct {
+	// values is sorted ascending and never mutated after construction.
+	values []float64
+}
+
+// FromValues builds a Multiset from the given values. The input slice is
+// copied, so the caller retains ownership. It returns ErrNaN if any value is
+// NaN; infinities are permitted (a Byzantine sender may report them and the
+// reduction step must be able to trim them).
+func FromValues(values ...float64) (Multiset, error) {
+	for _, v := range values {
+		if math.IsNaN(v) {
+			return Multiset{}, ErrNaN
+		}
+	}
+	vs := make([]float64, len(values))
+	copy(vs, values)
+	sort.Float64s(vs)
+	return Multiset{values: vs}, nil
+}
+
+// MustFromValues is FromValues for statically known inputs, used by tests
+// and table literals. It panics on NaN, which is a programming error in
+// those contexts.
+func MustFromValues(values ...float64) Multiset {
+	m, err := FromValues(values...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Len returns the cardinality |V| of the multiset.
+func (m Multiset) Len() int { return len(m.values) }
+
+// IsEmpty reports whether the multiset has no elements.
+func (m Multiset) IsEmpty() bool { return len(m.values) == 0 }
+
+// Values returns a copy of the sorted values. Mutating the returned slice
+// does not affect the multiset.
+func (m Multiset) Values() []float64 {
+	out := make([]float64, len(m.values))
+	copy(out, m.values)
+	return out
+}
+
+// At returns the i-th smallest element (0-indexed). It returns an error if
+// the index is out of range, because callers index with fault-count
+// arithmetic that must be validated, not trusted.
+func (m Multiset) At(i int) (float64, error) {
+	if i < 0 || i >= len(m.values) {
+		return 0, fmt.Errorf("multiset: index %d out of range [0,%d)", i, len(m.values))
+	}
+	return m.values[i], nil
+}
+
+// Min returns min(V), the smallest element. The second return is false for
+// the empty multiset.
+func (m Multiset) Min() (float64, bool) {
+	if len(m.values) == 0 {
+		return 0, false
+	}
+	return m.values[0], true
+}
+
+// Max returns max(V), the largest element. The second return is false for
+// the empty multiset.
+func (m Multiset) Max() (float64, bool) {
+	if len(m.values) == 0 {
+		return 0, false
+	}
+	return m.values[len(m.values)-1], true
+}
+
+// Interval is a closed real interval [Lo, Hi]. It represents ρ(V), the range
+// of a multiset, in the paper's notation.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies in the closed interval.
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// ContainsWithin reports whether x lies in the interval widened by rel
+// (relative to the interval's magnitude, floored at 1) on each side. It is
+// the numerically tolerant variant used by the invariant checkers: the
+// mean of k identical survivors can land an ulp outside the exact range.
+func (iv Interval) ContainsWithin(x, rel float64) bool {
+	scale := 1.0
+	if a := math.Abs(iv.Lo); a > scale {
+		scale = a
+	}
+	if a := math.Abs(iv.Hi); a > scale {
+		scale = a
+	}
+	tol := rel * scale
+	return iv.Lo-tol <= x && x <= iv.Hi+tol
+}
+
+// ContainsInterval reports whether other is entirely inside iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Intersects reports whether the two closed intervals share a point.
+func (iv Interval) Intersects(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Range returns ρ(V) = [min(V), max(V)]. The second return is false for the
+// empty multiset, whose range is undefined.
+func (m Multiset) Range() (Interval, bool) {
+	if len(m.values) == 0 {
+		return Interval{}, false
+	}
+	return Interval{Lo: m.values[0], Hi: m.values[len(m.values)-1]}, true
+}
+
+// Diameter returns δ(V) = max(V) − min(V), the spread of the multiset.
+// The diameter of an empty or singleton multiset is 0.
+func (m Multiset) Diameter() float64 {
+	if len(m.values) < 2 {
+		return 0
+	}
+	return m.values[len(m.values)-1] - m.values[0]
+}
+
+// Mean returns the arithmetic mean of the elements. The second return is
+// false for the empty multiset.
+func (m Multiset) Mean() (float64, bool) {
+	if len(m.values) == 0 {
+		return 0, false
+	}
+	// Kahan summation: experiment sweeps average thousands of values whose
+	// magnitudes can differ wildly once Byzantine extremes are present in
+	// untrimmed diagnostics.
+	var sum, comp float64
+	for _, v := range m.values {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(m.values)), true
+}
+
+// Median returns the median element: for odd cardinality the middle value,
+// for even cardinality the mean of the two middle values. The second return
+// is false for the empty multiset.
+func (m Multiset) Median() (float64, bool) {
+	n := len(m.values)
+	if n == 0 {
+		return 0, false
+	}
+	if n%2 == 1 {
+		return m.values[n/2], true
+	}
+	return (m.values[n/2-1] + m.values[n/2]) / 2, true
+}
+
+// Midpoint returns (min(V)+max(V))/2, the centre of ρ(V). The second return
+// is false for the empty multiset.
+func (m Multiset) Midpoint() (float64, bool) {
+	if len(m.values) == 0 {
+		return 0, false
+	}
+	return (m.values[0] + m.values[len(m.values)-1]) / 2, true
+}
+
+// Trim returns Red_τ(V): the multiset with the τ smallest and τ largest
+// elements removed. This is the reduction step of every MSR algorithm; τ is
+// chosen so that every possibly-erroneous value is covered. It returns an
+// error if 2τ ≥ |V| (nothing would survive) or τ < 0.
+func (m Multiset) Trim(tau int) (Multiset, error) {
+	if tau < 0 {
+		return Multiset{}, fmt.Errorf("multiset: negative trim count %d", tau)
+	}
+	if 2*tau >= len(m.values) && !(tau == 0 && len(m.values) == 0) {
+		return Multiset{}, fmt.Errorf("multiset: trim %d from each end of %d values leaves nothing", tau, len(m.values))
+	}
+	return Multiset{values: m.values[tau : len(m.values)-tau]}, nil
+}
+
+// SelectEvery returns the subsequence of every step-th element starting at
+// index 0: elements at indices 0, step, 2·step, …. This is the selection
+// function of Dolev et al.'s averaging algorithms. step must be ≥ 1.
+func (m Multiset) SelectEvery(step int) (Multiset, error) {
+	if step < 1 {
+		return Multiset{}, fmt.Errorf("multiset: selection step %d must be >= 1", step)
+	}
+	// The final element is always included (Dolev et al. select indices
+	// 0, step, ... and the last) so the selected subsequence spans the
+	// full reduced range; without it the mean loses range coverage and
+	// the convergence-rate bound 1/⌈(m−2τ)/τ⌉ no longer holds.
+	out := make([]float64, 0, len(m.values)/step+2)
+	for i := 0; i < len(m.values); i += step {
+		out = append(out, m.values[i])
+	}
+	if n := len(m.values); n > 0 && (n-1)%step != 0 {
+		out = append(out, m.values[n-1])
+	}
+	return Multiset{values: out}, nil
+}
+
+// Extremes returns the two-element multiset {min(V), max(V)}, the selection
+// used by the fault-tolerant midpoint algorithm. The second return is false
+// for the empty multiset.
+func (m Multiset) Extremes() (Multiset, bool) {
+	if len(m.values) == 0 {
+		return Multiset{}, false
+	}
+	return Multiset{values: []float64{m.values[0], m.values[len(m.values)-1]}}, true
+}
+
+// Union returns the multiset union (concatenation) of m and other.
+func (m Multiset) Union(other Multiset) Multiset {
+	out := make([]float64, 0, len(m.values)+len(other.values))
+	out = append(out, m.values...)
+	out = append(out, other.values...)
+	sort.Float64s(out)
+	return Multiset{values: out}
+}
+
+// Add returns a new multiset with v added. It returns an error for NaN.
+func (m Multiset) Add(v float64) (Multiset, error) {
+	if math.IsNaN(v) {
+		return Multiset{}, ErrNaN
+	}
+	out := make([]float64, 0, len(m.values)+1)
+	i := sort.SearchFloat64s(m.values, v)
+	out = append(out, m.values[:i]...)
+	out = append(out, v)
+	out = append(out, m.values[i:]...)
+	return Multiset{values: out}, nil
+}
+
+// Count returns the multiplicity of v in the multiset.
+func (m Multiset) Count(v float64) int {
+	lo := sort.SearchFloat64s(m.values, v)
+	hi := lo
+	for hi < len(m.values) && m.values[hi] == v {
+		hi++
+	}
+	return hi - lo
+}
+
+// CountWithin returns how many elements fall in the closed interval iv.
+func (m Multiset) CountWithin(iv Interval) int {
+	lo := sort.SearchFloat64s(m.values, iv.Lo)
+	hi := sort.Search(len(m.values), func(i int) bool { return m.values[i] > iv.Hi })
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Equal reports whether the two multisets contain exactly the same values
+// with the same multiplicities.
+func (m Multiset) Equal(other Multiset) bool {
+	if len(m.values) != len(other.values) {
+		return false
+	}
+	for i, v := range m.values {
+		if other.values[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the multiset as "{v1, v2, …}" in sorted order, the form
+// used by the paper's lower-bound proofs (e.g. "{0,0,1}").
+func (m Multiset) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range m.values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

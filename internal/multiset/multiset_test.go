@@ -1,0 +1,422 @@
+package multiset
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromValuesSortsAndCopies(t *testing.T) {
+	src := []float64{3, 1, 2}
+	m, err := FromValues(src...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99 // mutating the input must not affect the multiset
+	want := []float64{1, 2, 3}
+	got := m.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values = %v, want %v", got, want)
+		}
+	}
+	got[0] = -1 // mutating the output must not affect the multiset
+	if v, _ := m.Min(); v != 1 {
+		t.Errorf("Min after caller mutation = %v, want 1", v)
+	}
+}
+
+func TestFromValuesRejectsNaN(t *testing.T) {
+	if _, err := FromValues(1, math.NaN(), 2); err == nil {
+		t.Fatal("want ErrNaN, got nil")
+	}
+}
+
+func TestFromValuesAllowsInfinities(t *testing.T) {
+	m, err := FromValues(math.Inf(1), 0, math.Inf(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Min(); !math.IsInf(v, -1) {
+		t.Errorf("Min = %v, want -Inf", v)
+	}
+	if v, _ := m.Max(); !math.IsInf(v, 1) {
+		t.Errorf("Max = %v, want +Inf", v)
+	}
+}
+
+func TestEmptyMultiset(t *testing.T) {
+	var m Multiset
+	if !m.IsEmpty() || m.Len() != 0 {
+		t.Error("zero value should be empty")
+	}
+	if _, ok := m.Min(); ok {
+		t.Error("Min of empty should report !ok")
+	}
+	if _, ok := m.Max(); ok {
+		t.Error("Max of empty should report !ok")
+	}
+	if _, ok := m.Mean(); ok {
+		t.Error("Mean of empty should report !ok")
+	}
+	if _, ok := m.Median(); ok {
+		t.Error("Median of empty should report !ok")
+	}
+	if _, ok := m.Midpoint(); ok {
+		t.Error("Midpoint of empty should report !ok")
+	}
+	if _, ok := m.Range(); ok {
+		t.Error("Range of empty should report !ok")
+	}
+	if d := m.Diameter(); d != 0 {
+		t.Errorf("Diameter of empty = %v, want 0", d)
+	}
+	if s := m.String(); s != "{}" {
+		t.Errorf("String of empty = %q, want {}", s)
+	}
+}
+
+func TestRangeAndDiameter(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		lo, hi float64
+		diam   float64
+	}{
+		{"singleton", []float64{5}, 5, 5, 0},
+		{"pair", []float64{1, 4}, 1, 4, 3},
+		{"negatives", []float64{-3, -7, 2}, -7, 2, 9},
+		{"duplicates", []float64{2, 2, 2}, 2, 2, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := MustFromValues(tt.values...)
+			iv, ok := m.Range()
+			if !ok {
+				t.Fatal("Range !ok")
+			}
+			if iv.Lo != tt.lo || iv.Hi != tt.hi {
+				t.Errorf("Range = [%v,%v], want [%v,%v]", iv.Lo, iv.Hi, tt.lo, tt.hi)
+			}
+			if d := m.Diameter(); d != tt.diam {
+				t.Errorf("Diameter = %v, want %v", d, tt.diam)
+			}
+			if w := iv.Width(); w != tt.diam {
+				t.Errorf("Width = %v, want %v", w, tt.diam)
+			}
+		})
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	m := MustFromValues(1, 2, 3, 4)
+	if v, _ := m.Mean(); v != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", v)
+	}
+	if v, _ := m.Median(); v != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", v)
+	}
+	if v, _ := m.Midpoint(); v != 2.5 {
+		t.Errorf("Midpoint = %v, want 2.5", v)
+	}
+	odd := MustFromValues(1, 2, 10)
+	if v, _ := odd.Median(); v != 2 {
+		t.Errorf("odd Median = %v, want 2", v)
+	}
+	if v, _ := odd.Midpoint(); v != 5.5 {
+		t.Errorf("Midpoint = %v, want 5.5", v)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	m := MustFromValues(0, 1, 2, 3, 4, 5)
+	red, err := m.Trim(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.Equal(MustFromValues(2, 3)) {
+		t.Errorf("Trim(2) = %v, want {2, 3}", red)
+	}
+	if _, err := m.Trim(3); err == nil {
+		t.Error("Trim(3) of 6 values should fail (nothing survives)")
+	}
+	if _, err := m.Trim(-1); err == nil {
+		t.Error("negative trim should fail")
+	}
+	same, err := m.Trim(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Equal(m) {
+		t.Error("Trim(0) should be identity")
+	}
+}
+
+func TestTrimRemovesByzantineExtremes(t *testing.T) {
+	// The reduction must defuse arbitrarily large adversarial values.
+	m := MustFromValues(math.Inf(-1), 0.4, 0.5, 0.6, math.Inf(1))
+	red, err := m.Trim(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := red.Range()
+	if iv.Lo != 0.4 || iv.Hi != 0.6 {
+		t.Errorf("trimmed range = [%v,%v], want [0.4,0.6]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestSelectEvery(t *testing.T) {
+	m := MustFromValues(0, 1, 2, 3, 4, 5, 6)
+	tests := []struct {
+		step int
+		want []float64
+	}{
+		{1, []float64{0, 1, 2, 3, 4, 5, 6}},
+		{2, []float64{0, 2, 4, 6}},
+		{3, []float64{0, 3, 6}},
+		{4, []float64{0, 4, 6}}, // last element always included
+		{10, []float64{0, 6}},
+	}
+	for _, tt := range tests {
+		got, err := m.SelectEvery(tt.step)
+		if err != nil {
+			t.Fatalf("step %d: %v", tt.step, err)
+		}
+		if !got.Equal(MustFromValues(tt.want...)) {
+			t.Errorf("SelectEvery(%d) = %v, want %v", tt.step, got, tt.want)
+		}
+	}
+	if _, err := m.SelectEvery(0); err == nil {
+		t.Error("step 0 should fail")
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	m := MustFromValues(3, 1, 7)
+	ex, ok := m.Extremes()
+	if !ok || !ex.Equal(MustFromValues(1, 7)) {
+		t.Errorf("Extremes = %v, want {1, 7}", ex)
+	}
+	var empty Multiset
+	if _, ok := empty.Extremes(); ok {
+		t.Error("Extremes of empty should report !ok")
+	}
+}
+
+func TestUnionAddCount(t *testing.T) {
+	a := MustFromValues(1, 2)
+	b := MustFromValues(2, 3)
+	u := a.Union(b)
+	if !u.Equal(MustFromValues(1, 2, 2, 3)) {
+		t.Errorf("Union = %v", u)
+	}
+	added, err := a.Add(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added.Equal(MustFromValues(1, 1.5, 2)) {
+		t.Errorf("Add = %v", added)
+	}
+	if _, err := a.Add(math.NaN()); err == nil {
+		t.Error("Add(NaN) should fail")
+	}
+	if c := u.Count(2); c != 2 {
+		t.Errorf("Count(2) = %d, want 2", c)
+	}
+	if c := u.Count(9); c != 0 {
+		t.Errorf("Count(9) = %d, want 0", c)
+	}
+}
+
+func TestCountWithin(t *testing.T) {
+	m := MustFromValues(1, 2, 3, 4, 5)
+	if c := m.CountWithin(Interval{Lo: 2, Hi: 4}); c != 3 {
+		t.Errorf("CountWithin([2,4]) = %d, want 3", c)
+	}
+	if c := m.CountWithin(Interval{Lo: 6, Hi: 9}); c != 0 {
+		t.Errorf("CountWithin([6,9]) = %d, want 0", c)
+	}
+	if c := m.CountWithin(Interval{Lo: 9, Hi: 6}); c != 0 {
+		t.Errorf("inverted interval = %d, want 0", c)
+	}
+}
+
+func TestAt(t *testing.T) {
+	m := MustFromValues(5, 1, 3)
+	if v, err := m.At(1); err != nil || v != 3 {
+		t.Errorf("At(1) = %v, %v; want 3", v, err)
+	}
+	if _, err := m.At(-1); err == nil {
+		t.Error("At(-1) should fail")
+	}
+	if _, err := m.At(3); err == nil {
+		t.Error("At(len) should fail")
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if !iv.Contains(1) || !iv.Contains(3) || !iv.Contains(2) {
+		t.Error("closed interval should contain endpoints and interior")
+	}
+	if iv.Contains(0.999) || iv.Contains(3.001) {
+		t.Error("interval should exclude exterior")
+	}
+	if !iv.ContainsInterval(Interval{Lo: 1.5, Hi: 2.5}) {
+		t.Error("should contain sub-interval")
+	}
+	if iv.ContainsInterval(Interval{Lo: 0, Hi: 2}) {
+		t.Error("should not contain overlapping-outside interval")
+	}
+	if !iv.Intersects(Interval{Lo: 3, Hi: 5}) {
+		t.Error("touching intervals intersect")
+	}
+	if iv.Intersects(Interval{Lo: 3.1, Hi: 5}) {
+		t.Error("disjoint intervals do not intersect")
+	}
+}
+
+func TestContainsWithin(t *testing.T) {
+	iv := Interval{Lo: 21.67375549545516, Hi: 21.890567911668647}
+	justBelow := math.Nextafter(iv.Lo, math.Inf(-1))
+	if iv.Contains(justBelow) {
+		t.Fatal("sanity: one ulp below should fail exact containment")
+	}
+	if !iv.ContainsWithin(justBelow, 1e-12) {
+		t.Error("one ulp below should pass tolerant containment")
+	}
+	if iv.ContainsWithin(iv.Lo-0.1, 1e-12) {
+		t.Error("a real violation must still fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := MustFromValues(1, 0, 1)
+	if got := m.String(); got != "{0, 1, 1}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustFromValues(1, 2, 2)
+	if !a.Equal(MustFromValues(2, 1, 2)) {
+		t.Error("order must not matter")
+	}
+	if a.Equal(MustFromValues(1, 2)) {
+		t.Error("different multiplicity must differ")
+	}
+	if a.Equal(MustFromValues(1, 2, 3)) {
+		t.Error("different values must differ")
+	}
+}
+
+// Property: construction is permutation-invariant and always sorted.
+func TestQuickSortedInvariant(t *testing.T) {
+	f := func(values []float64) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		m, err := FromValues(clean...)
+		if err != nil {
+			return false
+		}
+		got := m.Values()
+		return sort.Float64sAreSorted(got) && len(got) == len(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any multiset and feasible τ, the trimmed multiset is
+// contained in the original range and its diameter never grows.
+func TestQuickTrimShrinks(t *testing.T) {
+	f := func(values []float64, tauRaw uint8) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := MustFromValues(clean...)
+		tau := int(tauRaw) % ((len(clean) + 1) / 2)
+		if 2*tau >= len(clean) {
+			return true
+		}
+		red, err := m.Trim(tau)
+		if err != nil {
+			return false
+		}
+		full, _ := m.Range()
+		sub, ok := red.Range()
+		if !ok {
+			return false
+		}
+		return full.ContainsInterval(sub) && red.Diameter() <= m.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mean always lies in the range (the arithmetic heart of P1).
+func TestQuickMeanInRange(t *testing.T) {
+	f := func(values []float64) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := MustFromValues(clean...)
+		mean, ok := m.Mean()
+		if !ok {
+			return false
+		}
+		iv, _ := m.Range()
+		return iv.ContainsWithin(mean, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SelectEvery preserves min and max, so the selected subsequence
+// spans the full reduced range (required by the Dolev convergence proof).
+func TestQuickSelectSpansRange(t *testing.T) {
+	f := func(values []float64, stepRaw uint8) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := MustFromValues(clean...)
+		step := int(stepRaw)%8 + 1
+		sel, err := m.SelectEvery(step)
+		if err != nil {
+			return false
+		}
+		mMin, _ := m.Min()
+		mMax, _ := m.Max()
+		sMin, _ := sel.Min()
+		sMax, _ := sel.Max()
+		return mMin == sMin && mMax == sMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across distinct seeds", same)
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(7), New(7)
+	_ = a.Derive(1, 2, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Derive advanced the parent (draw %d)", i)
+		}
+	}
+}
+
+func TestDeriveIsLabelSensitive(t *testing.T) {
+	parent := New(7)
+	x := parent.Derive(1).Uint64()
+	y := parent.Derive(2).Uint64()
+	z := parent.Derive(1, 0).Uint64()
+	if x == y || x == z || y == z {
+		t.Errorf("derived streams collide: %d %d %d", x, y, z)
+	}
+	again := parent.Derive(1).Uint64()
+	if x != again {
+		t.Error("same label must derive the same stream")
+	}
+}
+
+func TestSplitAdvancesParentAndDiffers(t *testing.T) {
+	a, b := New(7), New(7)
+	child := a.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Error("Split should consume one parent draw")
+	}
+	if child.Uint64() == New(7).Uint64() {
+		t.Error("child stream should differ from a fresh seed-7 stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range = %v outside [-2,5)", v)
+		}
+	}
+	if v := s.Range(3, 3); v != 3 {
+		t.Errorf("degenerate Range = %v, want 3", v)
+	}
+	if v := s.Range(5, 2); v != 5 {
+		t.Errorf("inverted Range = %v, want lo", v)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(9)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 7; k++ {
+		if seen[k] < 1000 {
+			t.Errorf("value %d appeared only %d/10000 times", k, seen[k])
+		}
+	}
+	if v := s.Intn(0); v != 0 {
+		t.Errorf("Intn(0) = %d, want 0", v)
+	}
+	if v := s.Intn(-5); v != 0 {
+		t.Errorf("Intn(-5) = %d, want 0", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(4)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(5)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle lost elements: %v", vals)
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := New(6)
+	if s.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool(0.25) {
+			trues++
+		}
+	}
+	if trues < 2000 || trues > 3000 {
+		t.Errorf("Bool(0.25) fired %d/10000 times", trues)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(8)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %v, want ≈10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Errorf("stddev = %v, want ≈2", math.Sqrt(variance))
+	}
+}
+
+// Property: any seed yields a usable generator whose Float64 stays in range.
+func TestQuickAnySeed(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 10; i++ {
+			if v := s.Float64(); v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Derive is a pure function of (parent state, labels).
+func TestQuickDeriveDeterministic(t *testing.T) {
+	f := func(seed, l1, l2 uint64) bool {
+		p := New(seed)
+		return p.Derive(l1, l2).Uint64() == p.Derive(l1, l2).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

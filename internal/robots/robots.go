@@ -1,0 +1,155 @@
+// Package robots builds the paper's second motivating application (§1:
+// mobile robots gathering "at some specific location … tolerating a
+// difference in the final robot positions"): n robots converge to within ε
+// of each other despite mobile Byzantine faults that make compromised
+// robots report arbitrary positions.
+//
+// Gathering is multidimensional approximate agreement over the robots'
+// positions (internal/vector): one MSR instance per coordinate, a common
+// agent schedule across coordinates, box validity keeping the meeting
+// point inside the correct robots' initial bounding box.
+package robots
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/multiset"
+	"mbfaa/internal/prng"
+	"mbfaa/internal/vector"
+)
+
+// Point is a position in up to three dimensions; only the first Dim
+// coordinates of a Config are meaningful.
+type Point [3]float64
+
+// Config parameterizes a gathering experiment.
+type Config struct {
+	// N robots, F mobile agents, under Model.
+	N, F  int
+	Model mobile.Model
+	// Dim is the dimensionality (1, 2 or 3).
+	Dim int
+	// Algorithm is the MSR voting function.
+	Algorithm msr.Algorithm
+	// NewAdversary builds a fresh adversary per coordinate instance.
+	NewAdversary func() mobile.Adversary
+	// Epsilon is the per-coordinate gathering tolerance.
+	Epsilon float64
+	// Arena is the half-width of the square arena the robots start in.
+	Arena float64
+	// Seed drives position generation and the adversaries.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0 || c.F < 0:
+		return fmt.Errorf("robots: invalid sizes n=%d f=%d", c.N, c.F)
+	case !c.Model.Valid():
+		return fmt.Errorf("robots: invalid model")
+	case c.Dim < 1 || c.Dim > 3:
+		return fmt.Errorf("robots: dim %d not in {1,2,3}", c.Dim)
+	case c.Algorithm == nil || c.NewAdversary == nil:
+		return fmt.Errorf("robots: nil algorithm or adversary factory")
+	case c.Epsilon <= 0 || c.Arena <= 0:
+		return fmt.Errorf("robots: need positive epsilon and arena")
+	}
+	return nil
+}
+
+// Report is the outcome of a gathering run.
+type Report struct {
+	// Initial and Final are the robot positions before and after; faulty-
+	// at-end robots keep NaN coordinates in Final (their position is
+	// meaningless — the agent controls them).
+	Initial, Final []Point
+	// Gathered lists which robots decided on every coordinate.
+	Gathered []bool
+	// Spread is the max per-coordinate spread of gathered robots.
+	Spread float64
+	// Rounds is the common per-axis round count.
+	Rounds    int
+	Converged bool
+	// ValidityBox holds, per axis, the range of initially-correct robots'
+	// coordinates — the box Validity confines the gathering point to.
+	ValidityBox []multiset.Interval
+}
+
+// InBoundingBox reports whether every gathered robot's final position lies
+// inside the per-axis validity box — per-coordinate Validity, lifted to
+// the plane.
+func (r *Report) InBoundingBox(dim int) bool {
+	if len(r.ValidityBox) < dim {
+		return false
+	}
+	for i, p := range r.Final {
+		if !r.Gathered[i] {
+			continue
+		}
+		for d := 0; d < dim; d++ {
+			if !r.ValidityBox[d].ContainsWithin(p[d], 1e-12) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Gather places the robots, runs the multidimensional agreement, and moves
+// every non-compromised robot to its decided point.
+func Gather(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := prng.New(cfg.Seed)
+	rep := &Report{
+		Initial:  make([]Point, cfg.N),
+		Final:    make([]Point, cfg.N),
+		Gathered: make([]bool, cfg.N),
+	}
+	inputs := make([][]float64, cfg.N)
+	for i := range rep.Initial {
+		inputs[i] = make([]float64, cfg.Dim)
+		for d := 0; d < cfg.Dim; d++ {
+			rep.Initial[i][d] = rng.Range(-cfg.Arena, cfg.Arena)
+			inputs[i][d] = rep.Initial[i][d]
+		}
+		rep.Final[i] = rep.Initial[i]
+	}
+
+	res, err := vector.Run(vector.Config{
+		Model:        cfg.Model,
+		N:            cfg.N,
+		F:            cfg.F,
+		Dim:          cfg.Dim,
+		Algorithm:    cfg.Algorithm,
+		NewAdversary: cfg.NewAdversary,
+		Inputs:       inputs,
+		Epsilon:      cfg.Epsilon,
+		Radius:       cfg.Arena,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("robots: %w", err)
+	}
+
+	rep.Rounds = res.Rounds
+	rep.Converged = res.Converged
+	rep.ValidityBox = res.Boxes
+	for i := 0; i < cfg.N; i++ {
+		rep.Gathered[i] = res.Decided[i]
+		for d := 0; d < cfg.Dim; d++ {
+			if res.Decided[i] {
+				rep.Final[i][d] = res.Decisions[i][d]
+			} else {
+				rep.Final[i][d] = math.NaN()
+			}
+		}
+	}
+	rep.Spread = res.Spread()
+	return rep, nil
+}

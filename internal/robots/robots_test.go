@@ -1,0 +1,143 @@
+package robots
+
+import (
+	"math"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:            10,
+		F:            3,
+		Model:        mobile.M4Buhrman,
+		Dim:          2,
+		Algorithm:    msr.FTM{},
+		NewAdversary: func() mobile.Adversary { return mobile.NewRandom() },
+		Epsilon:      0.05,
+		Arena:        100,
+		Seed:         11,
+	}
+}
+
+func TestGatherConvergesPerModel(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		cfg := baseConfig()
+		cfg.Model = model
+		cfg.N = model.RequiredN(cfg.F) + 1
+		rep, err := Gather(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !rep.Converged {
+			t.Errorf("%v: gathering did not converge", model)
+		}
+		if rep.Spread > cfg.Epsilon {
+			t.Errorf("%v: spread %g > ε", model, rep.Spread)
+		}
+		if !rep.InBoundingBox(cfg.Dim) {
+			t.Errorf("%v: gathering point escaped the validity box", model)
+		}
+		gathered := 0
+		for _, ok := range rep.Gathered {
+			if ok {
+				gathered++
+			}
+		}
+		if gathered < cfg.N-cfg.F {
+			t.Errorf("%v: only %d of %d robots gathered (f=%d)", model, gathered, cfg.N, cfg.F)
+		}
+	}
+}
+
+func TestGatherDimensions(t *testing.T) {
+	for dim := 1; dim <= 3; dim++ {
+		cfg := baseConfig()
+		cfg.Dim = dim
+		rep, err := Gather(cfg)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if !rep.Converged {
+			t.Errorf("dim %d: not converged", dim)
+		}
+		// Unused coordinates stay zero for gathered robots' finals.
+		for i, p := range rep.Final {
+			if !rep.Gathered[i] {
+				continue
+			}
+			for d := dim; d < 3; d++ {
+				if p[d] != rep.Initial[i][d] {
+					t.Errorf("dim %d: coordinate %d of robot %d changed", dim, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultyRobotsExcluded(t *testing.T) {
+	rep, err := Gather(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range rep.Gathered {
+		if ok {
+			continue
+		}
+		if !math.IsNaN(rep.Final[i][0]) {
+			t.Errorf("non-gathered robot %d has a concrete final position", i)
+		}
+	}
+}
+
+func TestGatherDeterministic(t *testing.T) {
+	a, err := Gather(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gather(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spread != b.Spread || a.Rounds != b.Rounds {
+		t.Error("same config+seed produced different gatherings")
+	}
+}
+
+func TestMedianRefused(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Algorithm = msr.Median{}
+	if _, err := Gather(cfg); err == nil {
+		t.Error("Median (no contraction guarantee) accepted for gathering")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.F = -1 },
+		func(c *Config) { c.Model = 0 },
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.Dim = 4 },
+		func(c *Config) { c.Algorithm = nil },
+		func(c *Config) { c.NewAdversary = nil },
+		func(c *Config) { c.Epsilon = 0 },
+		func(c *Config) { c.Arena = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Gather(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestInBoundingBoxEdge(t *testing.T) {
+	r := &Report{}
+	if r.InBoundingBox(2) {
+		t.Error("report without validity boxes should fail")
+	}
+}

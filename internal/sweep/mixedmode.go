@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"mbfaa/internal/core"
+	"mbfaa/internal/mixedmode"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+// MixedModeCell is one (census, n) probe of the static substrate.
+type MixedModeCell struct {
+	Census        mixedmode.Counts
+	N             int
+	AboveBound    bool
+	Converged     bool
+	Rounds        int
+	FinalDiameter float64
+}
+
+// MixedModeResult is experiment T0: empirical validation of the
+// Kieckhafer–Azadmanesh bound n > 3a + 2s + b that Observation 1 (and
+// through it, every mobile result in the paper) stands on.
+type MixedModeResult struct {
+	Algorithm string
+	Cells     []MixedModeCell
+}
+
+// MixedModeBounds probes every census in the (a, s, b) grid with a ≥ 1 at
+// n = threshold (expected: frozen) and n = threshold+1 (expected:
+// converged), running the static census adversary with τ = a+s.
+//
+// The a ≥ 1 restriction keeps the boundary runs well-defined: with no
+// asymmetric fault the boundary multiset has no survivors after full
+// trimming and the protocol degrades to capped trimming, which is a
+// different (still non-converging) regime than the clean freeze.
+func MixedModeBounds(maxA, maxS, maxB int, algo msr.Algorithm, opt Options) (*MixedModeResult, error) {
+	res := &MixedModeResult{Algorithm: algo.Name()}
+	for a := 1; a <= maxA; a++ {
+		for s := 0; s <= maxS; s++ {
+			for b := 0; b <= maxB; b++ {
+				census := mixedmode.Counts{Asymmetric: a, Symmetric: s, Benign: b}
+				for _, n := range []int{census.Threshold(), census.Threshold() + 1} {
+					cell, err := runMixedMode(census, n, algo, opt)
+					if err != nil {
+						return nil, fmt.Errorf("sweep: mixed-mode %v n=%d: %w", census, n, err)
+					}
+					res.Cells = append(res.Cells, cell)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func runMixedMode(census mixedmode.Counts, n int, algo msr.Algorithm, opt Options) (MixedModeCell, error) {
+	inputs, err := mobile.MixedModeLayout(census, n, 0, 1)
+	if err != nil {
+		return MixedModeCell{}, err
+	}
+	above := census.Satisfied(n)
+	fixed := 0
+	if !above {
+		fixed = opt.FreezeRounds
+	}
+	cfg := core.Config{
+		// M4 carries the static run: agents never move under the census
+		// adversary, so no process is ever cured and M4's n-sized receive
+		// sets match the static model; the benign faults are the census's
+		// own silent processes.
+		Model:        mobile.M4Buhrman,
+		N:            n,
+		F:            census.Total(),
+		Algorithm:    algo,
+		Adversary:    mobile.NewMixedMode(census),
+		Inputs:       inputs,
+		TrimOverride: census.Asymmetric + census.Symmetric,
+		Epsilon:      opt.Epsilon,
+		MaxRounds:    opt.MaxRounds,
+		FixedRounds:  fixed,
+		Seed:         opt.Seed,
+	}
+	r, err := core.Run(cfg)
+	if err != nil {
+		return MixedModeCell{}, err
+	}
+	return MixedModeCell{
+		Census:        census,
+		N:             n,
+		AboveBound:    above,
+		Converged:     r.Converged,
+		Rounds:        r.Rounds,
+		FinalDiameter: r.FinalDiameter(),
+	}, nil
+}
+
+// Ok reports whether the substrate behaves as Kieckhafer & Azadmanesh
+// proved: convergence iff n > 3a + 2s + b.
+func (m *MixedModeResult) Ok() bool {
+	if len(m.Cells) == 0 {
+		return false
+	}
+	for _, c := range m.Cells {
+		if c.Converged != c.AboveBound {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the grid.
+func (m *MixedModeResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "T0 — static Mixed-Mode substrate: n > 3a+2s+b (%s)\n", m.Algorithm)
+	fmt.Fprintf(&b, "%-18s %4s %7s %10s %7s %s\n", "census", "n", "n>3a+2s+b", "converged", "rounds", "final diameter")
+	for _, c := range m.Cells {
+		mark := "no"
+		if c.Converged {
+			mark = "yes"
+		}
+		fmt.Fprintf(&b, "%-18s %4d %7v %10s %7d %g\n",
+			c.Census, c.N, c.AboveBound, mark, c.Rounds, c.FinalDiameter)
+	}
+	fmt.Fprintf(&b, "substrate bound confirmed: %v\n", m.Ok())
+	return b.String()
+}

@@ -1,0 +1,20 @@
+package sweep
+
+import (
+	"testing"
+
+	"mbfaa/internal/msr"
+)
+
+func TestMixedModeBoundsConfirmed(t *testing.T) {
+	res, err := MixedModeBounds(2, 2, 2, msr.FTA{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("substrate bound broken:\n%s", res.Render())
+	}
+	if len(res.Cells) != 2*3*3*2 {
+		t.Errorf("cells = %d, want 36", len(res.Cells))
+	}
+}

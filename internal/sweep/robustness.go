@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mbfaa/internal/core"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/prng"
+)
+
+// EpsilonPoint is one (ε, rounds) sample of figure F7.
+type EpsilonPoint struct {
+	Epsilon   float64
+	Rounds    int
+	Predicted int // ⌈log_{1/C}(δ₀/ε)⌉ from the contraction guarantee
+	Converged bool
+}
+
+// EpsilonSweepResult is figure F7: rounds-to-agreement as a function of the
+// tolerance, against the theoretical prediction.
+type EpsilonSweepResult struct {
+	Model     mobile.Model
+	N, F      int
+	Algorithm string
+	Points    []EpsilonPoint
+}
+
+// EpsilonSweep runs the splitter workload at n = RequiredN(f) for a
+// decade-spaced ladder of tolerances. Under a worst-case adversary the
+// measured round count should track the guarantee-derived prediction.
+func EpsilonSweep(model mobile.Model, f int, algo msr.Algorithm, decades int, opt Options) (*EpsilonSweepResult, error) {
+	n := model.RequiredN(f)
+	res := &EpsilonSweepResult{Model: model, N: n, F: f, Algorithm: algo.Name()}
+	m := n
+	if model == mobile.M1Garay {
+		m = n - f
+	}
+	contraction, haveC := algo.Contraction(m, model.Trim(f), model.AsymmetricSenders(f))
+	eps := 0.1
+	for d := 0; d < decades; d++ {
+		o := opt
+		o.Epsilon = eps
+		r, err := splitterRun(model, n, f, algo, o, 0)
+		if err != nil {
+			return nil, err
+		}
+		p := EpsilonPoint{Epsilon: eps, Rounds: r.Rounds, Converged: r.Converged}
+		if haveC {
+			if pred, err := msr.RequiredRounds(1, eps, contraction); err == nil {
+				p.Predicted = pred
+			}
+		}
+		res.Points = append(res.Points, p)
+		eps /= 10
+	}
+	return res, nil
+}
+
+// WithinPrediction reports whether every measured round count is at most
+// the theoretical prediction (the guarantee is an upper bound; the
+// adversary may do worse than its best).
+func (r *EpsilonSweepResult) WithinPrediction() bool {
+	if len(r.Points) == 0 {
+		return false
+	}
+	for _, p := range r.Points {
+		if !p.Converged || (p.Predicted > 0 && p.Rounds > p.Predicted) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the figure.
+func (r *EpsilonSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "F7 %s n=%d f=%d %s: rounds vs ε (predicted from C)\n",
+		r.Model.Short(), r.N, r.F, r.Algorithm)
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  ε=%-8.0e rounds=%-4d predicted≤%-4d converged=%v\n",
+			p.Epsilon, p.Rounds, p.Predicted, p.Converged)
+	}
+	return b.String()
+}
+
+// RobustnessResult is figure F8: convergence statistics over many seeds of
+// the randomized adversary — the "is the headline result seed-luck?" check.
+type RobustnessResult struct {
+	Model     mobile.Model
+	N, F      int
+	Algorithm string
+	Seeds     int
+	Converged int
+	RoundsMin int
+	RoundsP50 int
+	RoundsP95 int
+	RoundsMax int
+	AllValid  bool
+	AllEpsOK  bool
+}
+
+// SeedRobustness runs `seeds` independent executions with random inputs and
+// the random adversary at n = RequiredN(f) and aggregates the outcomes.
+func SeedRobustness(model mobile.Model, f, seeds int, algo msr.Algorithm, opt Options) (*RobustnessResult, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("sweep: need at least one seed")
+	}
+	n := model.RequiredN(f)
+	res := &RobustnessResult{
+		Model: model, N: n, F: f,
+		Algorithm: algo.Name(), Seeds: seeds,
+		AllValid: true, AllEpsOK: true,
+	}
+	rounds := make([]int, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		seed := opt.Seed + uint64(s)*7919
+		rng := prng.New(seed)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Range(0, 1)
+		}
+		cfg := core.Config{
+			Model:     model,
+			N:         n,
+			F:         f,
+			Algorithm: algo,
+			Adversary: mobile.NewRandom(),
+			Inputs:    inputs,
+			Epsilon:   opt.Epsilon,
+			MaxRounds: opt.MaxRounds,
+			Seed:      seed,
+		}
+		r, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: robustness seed %d: %w", seed, err)
+		}
+		if r.Converged {
+			res.Converged++
+			rounds = append(rounds, r.Rounds)
+		}
+		res.AllValid = res.AllValid && r.Valid()
+		res.AllEpsOK = res.AllEpsOK && r.EpsilonAgreement(opt.Epsilon)
+	}
+	if len(rounds) > 0 {
+		sort.Ints(rounds)
+		res.RoundsMin = rounds[0]
+		res.RoundsP50 = rounds[int(math.Ceil(0.50*float64(len(rounds))))-1]
+		res.RoundsP95 = rounds[int(math.Ceil(0.95*float64(len(rounds))))-1]
+		res.RoundsMax = rounds[len(rounds)-1]
+	}
+	return res, nil
+}
+
+// Ok reports whether every seed converged with validity and ε-agreement.
+func (r *RobustnessResult) Ok() bool {
+	return r.Seeds > 0 && r.Converged == r.Seeds && r.AllValid && r.AllEpsOK
+}
+
+// Render formats the figure.
+func (r *RobustnessResult) Render() string {
+	return fmt.Sprintf(
+		"F8 %s n=%d f=%d %s: %d/%d seeds converged; rounds min/p50/p95/max = %d/%d/%d/%d; validity=%v ε-agreement=%v\n",
+		r.Model.Short(), r.N, r.F, r.Algorithm,
+		r.Converged, r.Seeds,
+		r.RoundsMin, r.RoundsP50, r.RoundsP95, r.RoundsMax,
+		r.AllValid, r.AllEpsOK)
+}

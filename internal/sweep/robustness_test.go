@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+func TestEpsilonSweepTracksPrediction(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		res, err := EpsilonSweep(model, 2, msr.FTM{}, 5, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.WithinPrediction() {
+			t.Errorf("%v: measured rounds exceeded prediction:\n%s", model, res.Render())
+		}
+		// Halving tolerance by 10 at C=1/2 costs log2(10) ≈ 3.3 rounds:
+		// the ladder must be increasing.
+		for i := 1; i < len(res.Points); i++ {
+			if res.Points[i].Rounds < res.Points[i-1].Rounds {
+				t.Errorf("%v: rounds not monotone in 1/ε:\n%s", model, res.Render())
+				break
+			}
+		}
+	}
+}
+
+func TestSeedRobustnessAllConverge(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		res, err := SeedRobustness(model, 2, 40, msr.FTM{}, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.Ok() {
+			t.Errorf("%v: robustness failed: %s", model, res.Render())
+		}
+		if res.RoundsP95 > DefaultOptions().MaxRounds/2 {
+			t.Errorf("%v: p95 rounds %d suspiciously close to the cap", model, res.RoundsP95)
+		}
+	}
+}
+
+func TestSeedRobustnessValidation(t *testing.T) {
+	if _, err := SeedRobustness(mobile.M1Garay, 1, 0, msr.FTM{}, DefaultOptions()); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func TestRobustnessRenderers(t *testing.T) {
+	es, err := EpsilonSweep(mobile.M4Buhrman, 1, msr.FTM{}, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(es.Render(), "F7") {
+		t.Error("F7 render missing tag")
+	}
+	sr, err := SeedRobustness(mobile.M4Buhrman, 1, 5, msr.FTM{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sr.Render(), "F8") {
+		t.Error("F8 render missing tag")
+	}
+}

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	for _, f := range []int{1, 2, 3} {
+		res, err := Table1(f, DefaultOptions())
+		if err != nil {
+			t.Fatalf("Table1(f=%d): %v", f, err)
+		}
+		if !res.Ok() {
+			t.Errorf("f=%d: mapping mismatch:\n%s", f, res.Render())
+		}
+		if len(res.Rows) != 4 {
+			t.Errorf("f=%d: want 4 rows, got %d", f, len(res.Rows))
+		}
+	}
+}
+
+func TestTable1ExpectedClasses(t *testing.T) {
+	res, err := Table1(2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCured := map[mobile.Model]string{
+		mobile.M1Garay:   "benign",
+		mobile.M2Bonnet:  "symmetric",
+		mobile.M3Sasaki:  "asymmetric",
+		mobile.M4Buhrman: "correct",
+	}
+	for _, row := range res.Rows {
+		if got := row.ExpectedCured.String(); got != wantCured[row.Model] {
+			t.Errorf("%v: expected cured class %s, table says %s", row.Model, wantCured[row.Model], got)
+		}
+		if row.Model == mobile.M4Buhrman {
+			if len(row.CuredClasses) != 0 {
+				t.Errorf("M4: no process should be cured at send, got %d", len(row.CuredClasses))
+			}
+			continue
+		}
+		if len(row.CuredClasses) != 2 {
+			t.Errorf("%v: want 2 cured processes, got %d", row.Model, len(row.CuredClasses))
+		}
+	}
+}
+
+func TestTable2BoundsConfirmed(t *testing.T) {
+	res, err := Table2([]int{1, 2}, msr.FTA{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("Table 2 shape broken:\n%s", res.Render())
+	}
+}
+
+func TestTrajectoryGeometricDecay(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		res, err := Trajectory(model, 2, msr.FTM{}, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.Summary.ReachedEps {
+			t.Errorf("%v: trajectory never reached ε", model)
+		}
+		if res.Summary.WorstContraction > 0.5+1e-9 {
+			t.Errorf("%v: FTM worst step %g exceeds 1/2", model, res.Summary.WorstContraction)
+		}
+	}
+}
+
+func TestRoundsVsNMonotone(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		res, err := RoundsVsN(model, 2, 6, msr.FTM{}, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.Monotone() {
+			t.Errorf("%v: rounds-to-ε not monotone:\n%s", model, res.Render())
+		}
+	}
+}
+
+func TestAblationGuarantees(t *testing.T) {
+	res, err := Ablation(2, DefaultOptions(), msr.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteesHold() {
+		t.Errorf("a convergent algorithm contracted worse than its guarantee:\n%s", res.Render())
+	}
+	if len(res.Rows) != 4*len(msr.All()) {
+		t.Errorf("want %d rows, got %d", 4*len(msr.All()), len(res.Rows))
+	}
+}
+
+func TestMobileVsStaticGap(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		res, err := MobileVsStatic(model, 2, msr.FTA{}, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.Ok() {
+			t.Errorf("%v: comparison off: %s", model, res.Render())
+		}
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	t1, err := Table1(1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1.Render(), "Table 1") {
+		t.Error("Table1 render missing header")
+	}
+	t2, err := Table2([]int{1}, msr.FTM{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2.Render(), "Table 2") {
+		t.Error("Table2 render missing header")
+	}
+}

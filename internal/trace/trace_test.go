@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Round: 1, Kind: KindSend})
+	r.Note(2, "hello %d", 42)
+	if r.Len() != 0 {
+		t.Error("nil recorder should report length 0")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder should return nil events")
+	}
+	if got := r.Render(); !strings.Contains(got, "empty") {
+		t.Errorf("nil render = %q", got)
+	}
+}
+
+func TestRecordAndRender(t *testing.T) {
+	r := New()
+	r.Record(Event{Round: 0, Kind: KindMove, To: -1, Text: "agents on [0 1]"})
+	r.Record(Event{Round: 0, Kind: KindSend, From: 2, To: 3, Value: 1.5})
+	r.Record(Event{Round: 0, Kind: KindSend, From: 4, To: 3, Omitted: true})
+	r.Record(Event{Round: 0, Kind: KindCompute, From: 3, To: -1, Value: 1.25})
+	r.Record(Event{Round: 1, Kind: KindDecide, From: 3, To: -1, Value: 1.25})
+	r.Note(1, "converged in %d rounds", 2)
+
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", r.Len())
+	}
+	out := r.Render()
+	for _, want := range []string{
+		"round 0:", "round 1:",
+		"agents on [0 1]",
+		"p2 -> p3 value=1.5",
+		"p4 -> p3 (omitted)",
+		"compute p3 value=1.25",
+		"decide  p3 value=1.25",
+		"converged in 2 rounds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventsAreOrdered(t *testing.T) {
+	r := New()
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Round: i, Kind: KindNote, Text: "x"})
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Round != i {
+			t.Errorf("event %d has round %d", i, e.Round)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindMove:    "move",
+		KindSend:    "send",
+		KindCompute: "compute",
+		KindDecide:  "decide",
+		KindNote:    "note",
+		Kind(42):    "Kind(42)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// dialRaw connects to a node like an attacker on the network would.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// expectNoDelivery asserts nothing reaches the node's inbox within the
+// grace period.
+func expectNoDelivery(t *testing.T, nd *TCPNode) {
+	t.Helper()
+	select {
+	case m := <-nd.Recv():
+		t.Fatalf("attack frame delivered: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// waitCounter polls an atomic counter getter until it reaches want.
+func waitCounter(t *testing.T, get func() int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if get() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s = %d, want ≥ %d", what, get(), want)
+}
+
+func TestTCPRejectsTamperedFrame(t *testing.T) {
+	nodes, err := NewTCPMesh(2, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	codec, _ := NewCodec(testKey)
+	frame, err := codec.Encode(Message{Round: 0, From: 0, To: 1, Value: 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[26] ^= 0xff // corrupt the value in flight
+
+	conn := dialRaw(t, nodes[1].Addr())
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, nodes[1].AuthFailures, 1, "AuthFailures")
+	expectNoDelivery(t, nodes[1])
+}
+
+func TestTCPRejectsWrongKeyAttacker(t *testing.T) {
+	nodes, err := NewTCPMesh(2, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	evilCodec, _ := NewCodec([]byte("attacker-key"))
+	frame, err := evilCodec.Encode(Message{Round: 0, From: 0, To: 1, Value: 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, nodes[1].Addr())
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, nodes[1].AuthFailures, 1, "AuthFailures")
+	expectNoDelivery(t, nodes[1])
+}
+
+func TestTCPRejectsReplay(t *testing.T) {
+	nodes, err := NewTCPMesh(2, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	// A legitimate frame, captured and replayed by the attacker.
+	codec, _ := NewCodec(testKey)
+	frame, err := codec.Encode(Message{Round: 0, From: 0, To: 1, Value: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, nodes[1].Addr())
+	defer func() { _ = conn.Close() }()
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly one copy is delivered.
+	got := <-nodes[1].Recv()
+	if got.Value != 42 {
+		t.Errorf("delivered %+v", got)
+	}
+	waitCounter(t, nodes[1].ReplayDrops, 2, "ReplayDrops")
+	expectNoDelivery(t, nodes[1])
+}
+
+func TestTCPDropsMisdirectedFrame(t *testing.T) {
+	nodes, err := NewTCPMesh(3, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	codec, _ := NewCodec(testKey)
+	// Authenticated frame addressed to node 2, delivered to node 1's
+	// socket (a rerouting attack).
+	frame, err := codec.Encode(Message{Round: 0, From: 0, To: 2, Value: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialRaw(t, nodes[1].Addr())
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, nodes[1].MisdirectDrops, 1, "MisdirectDrops")
+	expectNoDelivery(t, nodes[1])
+}
+
+func TestTCPSurvivesGarbageConnection(t *testing.T) {
+	nodes, err := NewTCPMesh(2, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	conn := dialRaw(t, nodes[1].Addr())
+	junk := make([]byte, FrameSize)
+	junk[0] = 0x99
+	if _, err := conn.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	// The node must still accept legitimate traffic afterwards.
+	if err := nodes[0].Send(Message{To: 1, Round: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-nodes[1].Recv():
+		if m.Value != 1 {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("legitimate frame not delivered after garbage connection")
+	}
+}

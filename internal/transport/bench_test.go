@@ -1,0 +1,36 @@
+package transport
+
+import "testing"
+
+// BenchmarkEncode measures frame construction + HMAC signing.
+func BenchmarkEncode(b *testing.B) {
+	codec, err := NewCodec([]byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Message{Round: 12, From: 3, To: 7, Value: 3.14159}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures parsing + HMAC verification.
+func BenchmarkDecode(b *testing.B) {
+	codec, err := NewCodec([]byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := codec.Encode(Message{Round: 12, From: 3, To: 7, Value: 3.14159})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

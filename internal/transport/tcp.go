@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Link is a single node's view of the network: it can send authenticated
+// messages to peers and receive its own inbound stream. Channel (in-memory)
+// and TCPNode (sockets) both provide it.
+type Link interface {
+	// Send delivers m to peer m.To. The implementation stamps m.From with
+	// the local identity — a node cannot forge another sender, which is
+	// the transport half of the paper's authenticated-channel assumption
+	// (the cryptographic half is the frame HMAC).
+	Send(m Message) error
+	// Recv returns the inbound message stream. It is closed on Close.
+	Recv() <-chan Message
+	// Close releases the link's resources.
+	Close() error
+}
+
+// Link returns node id's Link view of the in-memory transport.
+func (c *Channel) Link(id int) Link { return &channelLink{hub: c, id: id} }
+
+type channelLink struct {
+	hub *Channel
+	id  int
+}
+
+func (l *channelLink) Send(m Message) error {
+	m.From = l.id
+	return l.hub.Send(m)
+}
+
+func (l *channelLink) Recv() <-chan Message { return l.hub.Inbox(l.id) }
+
+// Close on a channelLink is a no-op: the hub owns the resources.
+func (l *channelLink) Close() error { return nil }
+
+// TCPNode is one protocol node communicating over real TCP connections with
+// HMAC-authenticated frames. Inbound frames that fail authentication, carry
+// the wrong destination, or replay an already-seen (from, round, seq) tuple
+// are counted and dropped before reaching the protocol.
+type TCPNode struct {
+	id    int
+	n     int
+	codec *Codec
+	addrs []string
+	ln    net.Listener
+
+	inbox  chan Message
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[int]net.Conn  // outgoing, keyed by peer id
+	accepted map[net.Conn]bool // inbound, owned until their readLoop exits
+	down     bool
+
+	authFailures   atomic.Int64
+	replayDrops    atomic.Int64
+	misdirectDrops atomic.Int64
+
+	filterMu sync.Mutex
+	filter   *replayFilter
+}
+
+// NewTCPNode starts node id listening on ln; addrs[j] is peer j's dialable
+// address (addrs[id] describes ln itself). All peers must share key.
+func NewTCPNode(id, n int, ln net.Listener, addrs []string, key []byte) (*TCPNode, error) {
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("transport: id %d out of range [0,%d)", id, n)
+	}
+	if len(addrs) != n {
+		return nil, fmt.Errorf("transport: %d addrs for n=%d", len(addrs), n)
+	}
+	codec, err := NewCodec(key)
+	if err != nil {
+		return nil, err
+	}
+	nd := &TCPNode{
+		id:       id,
+		n:        n,
+		codec:    codec,
+		addrs:    append([]string(nil), addrs...),
+		ln:       ln,
+		inbox:    make(chan Message, 4*n),
+		closed:   make(chan struct{}),
+		conns:    make(map[int]net.Conn, n),
+		accepted: make(map[net.Conn]bool),
+		filter:   newReplayFilter(),
+	}
+	nd.wg.Add(1)
+	go nd.acceptLoop()
+	return nd, nil
+}
+
+// NewTCPMesh starts an n-node fully connected mesh on loopback ports chosen
+// by the OS, for tests and single-machine demos.
+func NewTCPMesh(n int, key []byte) ([]*TCPNode, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = listeners[j].Close()
+			}
+			return nil, fmt.Errorf("transport: mesh listen: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*TCPNode, n)
+	for i := 0; i < n; i++ {
+		nd, err := NewTCPNode(i, n, listeners[i], addrs, key)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = nodes[j].Close()
+			}
+			for j := i; j < n; j++ {
+				_ = listeners[j].Close()
+			}
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	return nodes, nil
+}
+
+// Send implements Link. Connections are dialed lazily and reused.
+func (nd *TCPNode) Send(m Message) error {
+	if m.To < 0 || m.To >= nd.n {
+		return fmt.Errorf("transport: destination %d out of range [0,%d)", m.To, nd.n)
+	}
+	m.From = nd.id
+	frame, err := nd.codec.Encode(m)
+	if err != nil {
+		return err
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.down {
+		return ErrClosed
+	}
+	conn, ok := nd.conns[m.To]
+	if !ok {
+		conn, err = net.Dial("tcp", nd.addrs[m.To])
+		if err != nil {
+			return fmt.Errorf("transport: dial node %d: %w", m.To, err)
+		}
+		nd.conns[m.To] = conn
+	}
+	if _, err := conn.Write(frame); err != nil {
+		_ = conn.Close()
+		delete(nd.conns, m.To)
+		return fmt.Errorf("transport: write to node %d: %w", m.To, err)
+	}
+	return nil
+}
+
+// Recv implements Link.
+func (nd *TCPNode) Recv() <-chan Message { return nd.inbox }
+
+// Close implements Link: stops the accept loop, closes every connection,
+// waits for the reader goroutines and then closes the inbox.
+func (nd *TCPNode) Close() error {
+	nd.mu.Lock()
+	if nd.down {
+		nd.mu.Unlock()
+		return nil
+	}
+	nd.down = true
+	close(nd.closed)
+	err := nd.ln.Close()
+	for _, c := range nd.conns {
+		_ = c.Close()
+	}
+	// Inbound connections must be closed too: their reader goroutines
+	// otherwise block in ReadFull until the remote peer closes, which
+	// deadlocks whichever mesh node closes first.
+	for c := range nd.accepted {
+		_ = c.Close()
+	}
+	nd.mu.Unlock()
+	nd.wg.Wait()
+	close(nd.inbox)
+	return err
+}
+
+// Addr returns the node's listen address (dialable by peers and, in tests,
+// by attackers).
+func (nd *TCPNode) Addr() string { return nd.ln.Addr().String() }
+
+// AuthFailures returns how many inbound frames failed HMAC verification.
+func (nd *TCPNode) AuthFailures() int64 { return nd.authFailures.Load() }
+
+// ReplayDrops returns how many authenticated frames were dropped as
+// replays.
+func (nd *TCPNode) ReplayDrops() int64 { return nd.replayDrops.Load() }
+
+// MisdirectDrops returns how many authenticated frames named a different
+// destination.
+func (nd *TCPNode) MisdirectDrops() int64 { return nd.misdirectDrops.Load() }
+
+func (nd *TCPNode) acceptLoop() {
+	defer nd.wg.Done()
+	for {
+		conn, err := nd.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		nd.mu.Lock()
+		if nd.down {
+			nd.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		nd.accepted[conn] = true
+		nd.mu.Unlock()
+		nd.wg.Add(1)
+		go nd.readLoop(conn)
+	}
+}
+
+// readLoop consumes fixed-size frames from one inbound connection. Frames
+// are fixed-width, so a tampered frame does not desynchronize the stream.
+func (nd *TCPNode) readLoop(conn net.Conn) {
+	defer nd.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		nd.mu.Lock()
+		delete(nd.accepted, conn)
+		nd.mu.Unlock()
+	}()
+	buf := make([]byte, FrameSize)
+	for {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := nd.codec.Decode(buf)
+		switch {
+		case errors.Is(err, ErrBadMAC):
+			nd.authFailures.Add(1)
+			continue
+		case err != nil:
+			// Malformed beyond authentication: drop the connection; a
+			// correct peer never produces such frames.
+			return
+		}
+		if m.To != nd.id {
+			nd.misdirectDrops.Add(1)
+			continue
+		}
+		nd.filterMu.Lock()
+		fresh := nd.filter.admit(m.From, m.Round, m.Seq)
+		nd.filterMu.Unlock()
+		if !fresh {
+			nd.replayDrops.Add(1)
+			continue
+		}
+		select {
+		case nd.inbox <- m:
+		case <-nd.closed:
+			return
+		}
+	}
+}
+
+var (
+	_ Link = (*TCPNode)(nil)
+	_ Link = (*channelLink)(nil)
+)
+
+// replayFilter remembers (from, round, seq) tuples within a sliding round
+// window and rejects duplicates. The window tolerates the one-round skew a
+// lockstep protocol can exhibit while keeping memory bounded.
+type replayFilter struct {
+	window    int
+	highwater map[int]int             // per sender: highest round seen
+	seen      map[int]map[uint64]bool // per sender: packed (round,seq)
+}
+
+func newReplayFilter() *replayFilter {
+	return &replayFilter{
+		window:    4,
+		highwater: make(map[int]int),
+		seen:      make(map[int]map[uint64]bool),
+	}
+}
+
+// admit reports whether the tuple is fresh, recording it if so. Frames
+// older than the window below the sender's high-water round are treated as
+// replays outright.
+func (f *replayFilter) admit(from, round int, seq uint32) bool {
+	hw, ok := f.highwater[from]
+	if ok && round < hw-f.window {
+		return false
+	}
+	key := uint64(round)<<32 | uint64(seq)
+	set := f.seen[from]
+	if set == nil {
+		set = make(map[uint64]bool)
+		f.seen[from] = set
+	}
+	if set[key] {
+		return false
+	}
+	set[key] = true
+	if round > hw {
+		f.highwater[from] = round
+		// Prune entries that slid out of the window.
+		for k := range set {
+			if int(k>>32) < round-f.window {
+				delete(set, k)
+			}
+		}
+	}
+	return true
+}

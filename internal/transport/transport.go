@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Transport delivers Messages among n nodes. Implementations must be safe
+// for concurrent Sends and guarantee that a message sent before Close is
+// either delivered to the destination inbox or reported as an error —
+// messages are never silently created, duplicated or reordered per link
+// (the paper's reliable-channel assumption).
+type Transport interface {
+	// Send delivers m to node m.To. It returns an error if the transport
+	// is closed or the destination is invalid.
+	Send(m Message) error
+	// Inbox returns the receive channel of node id. The channel is closed
+	// after Close once all in-flight messages have been delivered.
+	Inbox(id int) <-chan Message
+	// Close shuts the transport down and releases resources.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// Channel is the in-memory Transport: per-node inbox channels with
+// capacity n·capFactor, modelling instantaneous reliable links.
+type Channel struct {
+	n       int
+	inboxes []chan Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewChannel returns an in-memory transport for n nodes. Each inbox buffers
+// up to n·rounds messages where rounds is the expected in-flight window
+// (use 2 for lockstep protocols: current round plus one round of skew).
+func NewChannel(n, rounds int) (*Channel, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: n=%d must be positive", n)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	c := &Channel{n: n, inboxes: make([]chan Message, n)}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan Message, n*rounds)
+	}
+	return c, nil
+}
+
+// Send implements Transport.
+func (c *Channel) Send(m Message) error {
+	if m.To < 0 || m.To >= c.n || m.From < 0 || m.From >= c.n {
+		return fmt.Errorf("transport: send %d->%d out of range [0,%d)", m.From, m.To, c.n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	// Holding the lock across the channel send keeps Close from closing
+	// an inbox mid-delivery; capacity is sized so lockstep protocols
+	// never block here.
+	c.inboxes[m.To] <- m
+	return nil
+}
+
+// Inbox implements Transport.
+func (c *Channel) Inbox(id int) <-chan Message { return c.inboxes[id] }
+
+// Close implements Transport.
+func (c *Channel) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, ch := range c.inboxes {
+		close(ch)
+	}
+	return nil
+}
+
+var _ Transport = (*Channel)(nil)

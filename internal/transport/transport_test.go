@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testKey = []byte("test-key")
+
+func TestCodecRoundTrip(t *testing.T) {
+	c, err := NewCodec(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{
+		{Round: 0, From: 0, To: 1, Value: 3.14},
+		{Round: 42, From: 7, To: 0, Value: -1e300},
+		{Round: 1, From: 2, To: 3, Omitted: true},
+		{Round: 9, From: 1, To: 1, Value: math.Inf(1)},
+		{Round: 5, From: 4, To: 2, Value: 0, Seq: 77},
+	}
+	for _, m := range msgs {
+		frame, err := c.Encode(m)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", m, err)
+		}
+		if len(frame) != FrameSize {
+			t.Fatalf("frame size %d, want %d", len(frame), FrameSize)
+		}
+		got, err := c.Decode(frame)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		want := m
+		if want.Omitted {
+			want.Value = 0 // canonical
+		}
+		if got != want {
+			t.Errorf("roundtrip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestCodecRejectsNaN(t *testing.T) {
+	c, _ := NewCodec(testKey)
+	if _, err := c.Encode(Message{Value: math.NaN()}); !errors.Is(err, ErrBadValue) {
+		t.Errorf("Encode(NaN) err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestCodecRejectsEmptyKey(t *testing.T) {
+	if _, err := NewCodec(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestCodecRejectsTampering(t *testing.T) {
+	c, _ := NewCodec(testKey)
+	frame, err := c.Encode(Message{Round: 3, From: 1, To: 2, Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the value field: the MAC must catch it.
+	for _, idx := range []int{3, 8, 25, 30} {
+		evil := append([]byte(nil), frame...)
+		evil[idx] ^= 0x01
+		if _, err := c.Decode(evil); !errors.Is(err, ErrBadMAC) {
+			t.Errorf("tampered byte %d: err = %v, want ErrBadMAC", idx, err)
+		}
+	}
+	// Flip a MAC byte.
+	evil := append([]byte(nil), frame...)
+	evil[FrameSize-1] ^= 0xff
+	if _, err := c.Decode(evil); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("tampered MAC: err = %v, want ErrBadMAC", err)
+	}
+}
+
+func TestCodecRejectsWrongKey(t *testing.T) {
+	a, _ := NewCodec([]byte("key-a"))
+	b, _ := NewCodec([]byte("key-b"))
+	frame, err := a.Encode(Message{Round: 1, From: 0, To: 1, Value: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Decode(frame); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("cross-key decode err = %v, want ErrBadMAC", err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	c, _ := NewCodec(testKey)
+	if _, err := c.Decode([]byte{1, 2, 3}); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short frame err = %v", err)
+	}
+	junk := make([]byte, FrameSize)
+	if _, err := c.Decode(junk); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	frame, _ := c.Encode(Message{Round: 1, From: 0, To: 1, Value: 5})
+	frame[2] = 99 // version
+	if _, err := c.Decode(frame); !errors.Is(err, ErrBadVersion) && !errors.Is(err, ErrBadMAC) {
+		t.Errorf("bad version err = %v", err)
+	}
+}
+
+// Property: encode/decode is the identity on valid messages.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	c, _ := NewCodec(testKey)
+	f := func(round uint16, from, to uint8, value float64, omitted bool, seq uint32) bool {
+		if math.IsNaN(value) {
+			return true
+		}
+		m := Message{Round: int(round), From: int(from), To: int(to), Value: value, Omitted: omitted, Seq: seq}
+		frame, err := c.Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(frame)
+		if err != nil {
+			return false
+		}
+		if omitted {
+			m.Value = 0
+		}
+		return got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelTransport(t *testing.T) {
+	hub, err := NewChannel(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+
+	link0 := hub.Link(0)
+	if err := link0.Send(Message{To: 1, Value: 9, Round: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-hub.Inbox(1)
+	if got.From != 0 || got.Value != 9 {
+		t.Errorf("received %+v", got)
+	}
+	// From is stamped by the link even if the caller lies.
+	if err := hub.Link(2).Send(Message{From: 0, To: 1, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got = <-hub.Inbox(1)
+	if got.From != 2 {
+		t.Errorf("link allowed sender forgery: From = %d", got.From)
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	if _, err := NewChannel(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	hub, _ := NewChannel(2, 1)
+	if err := hub.Send(Message{To: 5}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Send(Message{To: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close err = %v", err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestReplayFilter(t *testing.T) {
+	f := newReplayFilter()
+	if !f.admit(1, 0, 0) {
+		t.Error("first frame rejected")
+	}
+	if f.admit(1, 0, 0) {
+		t.Error("duplicate admitted")
+	}
+	if !f.admit(1, 0, 1) {
+		t.Error("new seq rejected")
+	}
+	if !f.admit(2, 0, 0) {
+		t.Error("other sender rejected")
+	}
+	for r := 1; r <= 10; r++ {
+		if !f.admit(1, r, 0) {
+			t.Errorf("round %d rejected", r)
+		}
+	}
+	if f.admit(1, 2, 0) {
+		t.Error("frame far below high-water admitted")
+	}
+	if !f.admit(1, 8, 1) {
+		t.Error("fresh frame within window rejected")
+	}
+}
+
+func TestTCPMeshDelivery(t *testing.T) {
+	nodes, err := NewTCPMesh(3, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	if err := nodes[0].Send(Message{To: 1, Round: 0, Value: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-nodes[1].Recv()
+	if got.From != 0 || got.Value != 2.5 {
+		t.Errorf("received %+v", got)
+	}
+	// Full round: everyone to everyone.
+	for from := 0; from < 3; from++ {
+		for to := 0; to < 3; to++ {
+			if err := nodes[from].Send(Message{To: to, Round: 1, Value: float64(from)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for to := 0; to < 3; to++ {
+		seen := make(map[int]bool)
+		for k := 0; k < 3; k++ {
+			m := <-nodes[to].Recv()
+			seen[m.From] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("node %d saw senders %v", to, seen)
+		}
+	}
+}
+
+func TestTCPSenderCannotForge(t *testing.T) {
+	nodes, err := NewTCPMesh(2, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+	if err := nodes[0].Send(Message{From: 1, To: 1, Round: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-nodes[1].Recv()
+	if got.From != 0 {
+		t.Errorf("forged From accepted: %d", got.From)
+	}
+}
+
+func TestTCPValidation(t *testing.T) {
+	nodes, err := NewTCPMesh(2, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+	if err := nodes[0].Send(Message{To: 9}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func closeAll(t *testing.T, nodes []*TCPNode) {
+	t.Helper()
+	for _, nd := range nodes {
+		if err := nd.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+}

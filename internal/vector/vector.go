@@ -1,0 +1,207 @@
+// Package vector implements multidimensional approximate agreement under
+// mobile Byzantine faults: processes hold vectors in R^d and must decide
+// vectors pairwise within ε per coordinate, inside the bounding box of
+// correct inputs.
+//
+// The construction is coordinate-wise MSR, the decomposition highlighted
+// by Mendes & Herlihy (STOC 2013) for the Byzantine setting (with box
+// validity rather than convex-hull validity — the box is what
+// coordinate-wise decomposition guarantees, and what the robot-gathering
+// motivation needs). All d instances must observe the *same* agent
+// schedule — a process compromised in one coordinate is compromised in all
+// of them — so the instances share one seed and one fixed round count
+// derived from the algorithm's contraction guarantee and the a-priori
+// input radius.
+package vector
+
+import (
+	"fmt"
+	"math"
+
+	"mbfaa/internal/core"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/multiset"
+)
+
+// Config parameterizes a multidimensional agreement instance.
+type Config struct {
+	// Model, N, F as in the scalar protocol.
+	Model mobile.Model
+	N, F  int
+	// Dim is the dimensionality d ≥ 1.
+	Dim int
+	// Algorithm is the per-coordinate MSR member; it must carry a
+	// contraction guarantee (Median is rejected).
+	Algorithm msr.Algorithm
+	// NewAdversary builds one adversary per coordinate instance (stateful
+	// adversaries cannot be shared).
+	NewAdversary func() mobile.Adversary
+	// Inputs[i] is process i's input vector (length Dim).
+	Inputs [][]float64
+	// Epsilon is the per-coordinate agreement tolerance.
+	Epsilon float64
+	// Radius bounds |input coordinate| a priori; with the contraction
+	// guarantee it fixes the common round count.
+	Radius float64
+	// Seed drives all coordinate instances identically.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case !c.Model.Valid():
+		return fmt.Errorf("vector: invalid model")
+	case c.N <= 0 || c.F < 0:
+		return fmt.Errorf("vector: invalid sizes n=%d f=%d", c.N, c.F)
+	case c.Dim < 1:
+		return fmt.Errorf("vector: dim %d must be at least 1", c.Dim)
+	case c.Algorithm == nil || c.NewAdversary == nil:
+		return fmt.Errorf("vector: nil algorithm or adversary factory")
+	case len(c.Inputs) != c.N:
+		return fmt.Errorf("vector: %d input vectors for n=%d", len(c.Inputs), c.N)
+	case c.Epsilon <= 0 || c.Radius <= 0:
+		return fmt.Errorf("vector: need positive epsilon and radius")
+	}
+	for i, v := range c.Inputs {
+		if len(v) != c.Dim {
+			return fmt.Errorf("vector: input %d has %d coordinates, want %d", i, len(v), c.Dim)
+		}
+		for d, x := range v {
+			if math.IsNaN(x) || math.Abs(x) > c.Radius {
+				return fmt.Errorf("vector: input %d coordinate %d = %v outside ±radius", i, d, x)
+			}
+		}
+	}
+	return nil
+}
+
+// Rounds returns the common per-coordinate round count.
+func (c Config) Rounds() (int, error) {
+	m := c.N
+	if c.Model == mobile.M1Garay {
+		m = c.N - c.F
+	}
+	contraction, ok := c.Algorithm.Contraction(m, c.Model.Trim(c.F), c.Model.AsymmetricSenders(c.F))
+	if !ok {
+		return 0, fmt.Errorf("vector: algorithm %q has no contraction guarantee", c.Algorithm.Name())
+	}
+	r, err := msr.RequiredRounds(2*c.Radius, c.Epsilon, contraction)
+	if err != nil {
+		return 0, err
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r, nil
+}
+
+// Result is a completed multidimensional agreement.
+type Result struct {
+	// Rounds is the common per-coordinate round count executed.
+	Rounds int
+	// Converged reports whether every coordinate reached ε.
+	Converged bool
+	// Decided[i] reports whether process i decided on every coordinate
+	// (i.e. was non-faulty at the end of every instance; the schedules
+	// coincide, so this equals non-faulty at the end of the run).
+	Decided []bool
+	// Decisions[i] is process i's decided vector (NaN coordinates for
+	// non-decided processes).
+	Decisions [][]float64
+	// Boxes[d] is the validity interval of coordinate d: the range of
+	// initially-correct processes' d-th coordinates.
+	Boxes []multiset.Interval
+}
+
+// Spread returns the largest per-coordinate spread among decided vectors —
+// the quantity ε-agreement bounds.
+func (r *Result) Spread() float64 {
+	spread := 0.0
+	for d := range r.Boxes {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		any := false
+		for i, dec := range r.Decided {
+			if !dec {
+				continue
+			}
+			lo = math.Min(lo, r.Decisions[i][d])
+			hi = math.Max(hi, r.Decisions[i][d])
+			any = true
+		}
+		if any {
+			spread = math.Max(spread, hi-lo)
+		}
+	}
+	return spread
+}
+
+// InBox reports whether every decided vector lies in the validity box
+// (with ulp-scale tolerance, as in the scalar checkers).
+func (r *Result) InBox() bool {
+	for i, dec := range r.Decided {
+		if !dec {
+			continue
+		}
+		for d, iv := range r.Boxes {
+			if !iv.ContainsWithin(r.Decisions[i][d], 1e-12) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run executes the d coordinate instances.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rounds, err := cfg.Rounds()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Rounds:    rounds,
+		Converged: true,
+		Decided:   make([]bool, cfg.N),
+		Decisions: make([][]float64, cfg.N),
+	}
+	for i := range res.Decided {
+		res.Decided[i] = true
+		res.Decisions[i] = make([]float64, cfg.Dim)
+	}
+	for d := 0; d < cfg.Dim; d++ {
+		inputs := make([]float64, cfg.N)
+		for i := range inputs {
+			inputs[i] = cfg.Inputs[i][d]
+		}
+		axisCfg := core.Config{
+			Model:       cfg.Model,
+			N:           cfg.N,
+			F:           cfg.F,
+			Algorithm:   cfg.Algorithm,
+			Adversary:   cfg.NewAdversary(),
+			Inputs:      inputs,
+			Epsilon:     cfg.Epsilon,
+			FixedRounds: rounds,
+			Seed:        cfg.Seed + 1,
+		}
+		axis, err := core.Run(axisCfg)
+		if err != nil {
+			return nil, fmt.Errorf("vector: coordinate %d: %w", d, err)
+		}
+		res.Converged = res.Converged && axis.Converged
+		res.Boxes = append(res.Boxes, axis.InitialCorrectRange)
+		for i := 0; i < cfg.N; i++ {
+			if axis.Decided[i] && !math.IsNaN(axis.Votes[i]) {
+				res.Decisions[i][d] = axis.Votes[i]
+			} else {
+				res.Decided[i] = false
+				res.Decisions[i][d] = math.NaN()
+			}
+		}
+	}
+	return res, nil
+}

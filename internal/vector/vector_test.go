@@ -1,0 +1,158 @@
+package vector
+
+import (
+	"math"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/prng"
+)
+
+func baseConfig(t *testing.T, model mobile.Model, f, dim int) Config {
+	t.Helper()
+	n := model.RequiredN(f) + 1
+	rng := prng.New(99)
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = make([]float64, dim)
+		for d := range inputs[i] {
+			inputs[i][d] = rng.Range(-10, 10)
+		}
+	}
+	return Config{
+		Model:        model,
+		N:            n,
+		F:            f,
+		Dim:          dim,
+		Algorithm:    msr.FTM{},
+		NewAdversary: func() mobile.Adversary { return mobile.NewRandom() },
+		Inputs:       inputs,
+		Epsilon:      1e-3,
+		Radius:       10,
+		Seed:         7,
+	}
+}
+
+func TestVectorAgreementPerModel(t *testing.T) {
+	for _, model := range mobile.AllModels() {
+		res, err := Run(baseConfig(t, model, 2, 3))
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if !res.Converged {
+			t.Errorf("%v: not converged", model)
+		}
+		if got := res.Spread(); got > 1e-3 {
+			t.Errorf("%v: spread %g > ε", model, got)
+		}
+		if !res.InBox() {
+			t.Errorf("%v: decision escaped the validity box", model)
+		}
+		decided := 0
+		for _, d := range res.Decided {
+			if d {
+				decided++
+			}
+		}
+		if decided < res.nMinusF(t) {
+			t.Errorf("%v: only %d robots decided", model, decided)
+		}
+	}
+}
+
+// nMinusF is a helper reading n−f back out of the result shape.
+func (r *Result) nMinusF(t *testing.T) int {
+	t.Helper()
+	return len(r.Decided) - 3 // configs in this file use f ≤ 3
+}
+
+func TestCommonScheduleAcrossCoordinates(t *testing.T) {
+	// The set of non-decided processes must be identical across runs of
+	// different dimensionality prefixes: the schedule is coordinate-
+	// independent.
+	cfg2 := baseConfig(t, mobile.M1Garay, 2, 2)
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg3 := baseConfig(t, mobile.M1Garay, 2, 3)
+	res3, err := Run(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rounds != res3.Rounds {
+		t.Fatalf("round counts differ: %d vs %d", res2.Rounds, res3.Rounds)
+	}
+	for i := range res2.Decided {
+		if res2.Decided[i] != res3.Decided[i] {
+			t.Errorf("process %d decided differs across dims", i)
+		}
+	}
+}
+
+func TestNaNForNonDecided(t *testing.T) {
+	res, err := Run(baseConfig(t, mobile.M2Bonnet, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dec := range res.Decided {
+		for d := 0; d < 2; d++ {
+			isNaN := math.IsNaN(res.Decisions[i][d])
+			if dec && isNaN {
+				t.Errorf("decided process %d has NaN coordinate", i)
+			}
+			if !dec && !isNaN {
+				t.Errorf("non-decided process %d has concrete coordinate", i)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	valid := baseConfig(t, mobile.M4Buhrman, 1, 2)
+	bad := []func(*Config){
+		func(c *Config) { c.Model = 0 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.F = -1 },
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.Algorithm = nil },
+		func(c *Config) { c.NewAdversary = nil },
+		func(c *Config) { c.Inputs = c.Inputs[1:] },
+		func(c *Config) { c.Inputs[0] = []float64{1} },
+		func(c *Config) { c.Inputs[0][0] = math.NaN() },
+		func(c *Config) { c.Inputs[0][0] = 1e9 }, // outside radius
+		func(c *Config) { c.Epsilon = 0 },
+		func(c *Config) { c.Radius = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig(t, mobile.M4Buhrman, 1, 2)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := Run(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMedianRejected(t *testing.T) {
+	cfg := baseConfig(t, mobile.M4Buhrman, 1, 2)
+	cfg.Algorithm = msr.Median{}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Median accepted despite missing contraction guarantee")
+	}
+}
+
+func TestRoundsMatchesScalarPrediction(t *testing.T) {
+	cfg := baseConfig(t, mobile.M1Garay, 2, 2)
+	rounds, err := cfg.Rounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FTM halves per round: ⌈log2(2·10/1e-3)⌉ = ⌈log2(20000)⌉ = 15.
+	if rounds != 15 {
+		t.Errorf("Rounds = %d, want 15", rounds)
+	}
+}
