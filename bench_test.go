@@ -7,6 +7,8 @@
 package mbfaa_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"mbfaa"
@@ -76,6 +78,30 @@ func BenchmarkFigure8SeedRobustness(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(p95), "p95-rounds")
+}
+
+// BenchmarkSweepParallel contrasts the sweep runner's sequential reference
+// (workers=1) with the full worker pool on the Table 2 grid. On a
+// multi-core runner the parallel arm should be ≥2× faster; the outputs are
+// byte-identical either way (asserted by internal/sweep's worker-invariance
+// tests).
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := benchOpts()
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Table2([]int{1, 2, 3}, msr.FTA{}, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Ok() {
+					b.Fatal("Table 2 bounds broken")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable1Mapping regenerates Table 1: one adversarial round per

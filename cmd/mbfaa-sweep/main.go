@@ -33,6 +33,7 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or csv")
 		eps        = flag.Float64("eps", 1e-3, "agreement tolerance")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -48,27 +49,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := validateWidth(*width); err != nil {
+		log.Fatal(err)
+	}
+	if *format != "table" && *format != "csv" {
+		log.Fatalf("unknown format %q (have table, csv)", *format)
+	}
 
 	opt := sweep.DefaultOptions()
 	opt.Epsilon = *eps
 	opt.Seed = *seed
+	opt.Workers = *workers
 
 	res, err := sweep.Table2(fs, algo, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	keep := make(map[mobile.Model]bool, len(models))
-	for _, m := range models {
-		keep[m] = true
-	}
-	cells := res.Cells[:0]
-	for _, c := range res.Cells {
-		if keep[c.Model] && (*width == 0 || c.N <= c.Model.Bound(c.F)+*width) {
-			cells = append(cells, c)
-		}
-	}
-	res.Cells = cells
+	res.Cells = filterCells(res.Cells, models, *width)
 
 	switch *format {
 	case "csv":
@@ -82,6 +79,32 @@ func main() {
 	default:
 		log.Fatalf("unknown format %q (have table, csv)", *format)
 	}
+}
+
+// validateWidth rejects negative probe widths (0 means the Table2 default
+// of 2f per point).
+func validateWidth(w int) error {
+	if w < 0 {
+		return fmt.Errorf("width %d must be non-negative", w)
+	}
+	return nil
+}
+
+// filterCells returns the cells of the selected models within the requested
+// width above each model's bound (width 0 keeps everything). The input
+// slice is left untouched.
+func filterCells(cells []sweep.Table2Cell, models []mobile.Model, width int) []sweep.Table2Cell {
+	keep := make(map[mobile.Model]bool, len(models))
+	for _, m := range models {
+		keep[m] = true
+	}
+	out := make([]sweep.Table2Cell, 0, len(cells))
+	for _, c := range cells {
+		if keep[c.Model] && (width == 0 || c.N <= c.Model.Bound(c.F)+width) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 func parseModels(s string) ([]mobile.Model, error) {

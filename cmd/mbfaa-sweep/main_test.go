@@ -1,0 +1,102 @@
+package main
+
+import (
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/sweep"
+)
+
+func TestParseModels(t *testing.T) {
+	got, err := parseModels("M1, M3,M4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mobile.Model{mobile.M1Garay, mobile.M3Sasaki, mobile.M4Buhrman}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d models, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("model %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseModelsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"M5", "garbage", "M1,,M2", "M1;M2", ","} {
+		if _, err := parseModels(bad); err == nil {
+			t.Errorf("parseModels(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1,2, 10 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 10}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d ints, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("int %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseIntsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"", "x", "1,x", "0", "-3", "1,0", "1.5", ",", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestValidateWidth(t *testing.T) {
+	if err := validateWidth(0); err != nil {
+		t.Errorf("width 0 (default) rejected: %v", err)
+	}
+	if err := validateWidth(8); err != nil {
+		t.Errorf("width 8 rejected: %v", err)
+	}
+	if err := validateWidth(-1); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+func TestFilterCells(t *testing.T) {
+	mk := func(m mobile.Model, f, n int) sweep.Table2Cell {
+		return sweep.Table2Cell{Model: m, F: f, N: n}
+	}
+	b1 := mobile.M1Garay.Bound(1)
+	b2 := mobile.M2Bonnet.Bound(1)
+	cells := []sweep.Table2Cell{
+		mk(mobile.M1Garay, 1, b1),
+		mk(mobile.M1Garay, 1, b1+1),
+		mk(mobile.M1Garay, 1, b1+2),
+		mk(mobile.M2Bonnet, 1, b2),
+	}
+
+	all := filterCells(append([]sweep.Table2Cell(nil), cells...), []mobile.Model{mobile.M1Garay, mobile.M2Bonnet}, 0)
+	if len(all) != 4 {
+		t.Errorf("width=0 should keep all 4 cells, kept %d", len(all))
+	}
+
+	m1Only := filterCells(append([]sweep.Table2Cell(nil), cells...), []mobile.Model{mobile.M1Garay}, 0)
+	if len(m1Only) != 3 {
+		t.Errorf("M1 filter should keep 3 cells, kept %d", len(m1Only))
+	}
+	for _, c := range m1Only {
+		if c.Model != mobile.M1Garay {
+			t.Errorf("M1 filter leaked %v", c.Model)
+		}
+	}
+
+	narrow := filterCells(append([]sweep.Table2Cell(nil), cells...), []mobile.Model{mobile.M1Garay}, 1)
+	if len(narrow) != 2 {
+		t.Errorf("width=1 should keep n ≤ bound+1 (2 cells), kept %d", len(narrow))
+	}
+}

@@ -12,25 +12,36 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
+	"strings"
 
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
 	"mbfaa/internal/sweep"
 )
 
+// artifacts names every emittable table and figure, in emission order.
+var artifacts = []string{"t0", "table1", "table2", "f1", "f2", "f3", "f4", "f7", "f8"}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mbfaa-tables: ")
 
 	var (
-		f    = flag.Int("f", 2, "number of mobile Byzantine agents")
-		seed = flag.Uint64("seed", 1, "random seed")
-		only = flag.String("only", "", "emit a single artifact: t0, table1, table2, f1, f2, f3, f4, f7, f8")
+		f       = flag.Int("f", 2, "number of mobile Byzantine agents")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		only    = flag.String("only", "", "emit a single artifact: "+strings.Join(artifacts, ", "))
+		workers = flag.Int("workers", 0, "worker pool size (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
+	if *only != "" && !slices.Contains(artifacts, *only) {
+		log.Fatalf("unknown artifact %q (have %s)", *only, strings.Join(artifacts, ", "))
+	}
+
 	opt := sweep.DefaultOptions()
 	opt.Seed = *seed
+	opt.Workers = *workers
 	ok := true
 
 	want := func(name string) bool { return *only == "" || *only == name }

@@ -1,0 +1,3 @@
+module mbfaa
+
+go 1.22

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"mbfaa/internal/core"
 	"mbfaa/internal/mixedmode"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
@@ -30,42 +29,59 @@ type MixedModeResult struct {
 
 // MixedModeBounds probes every census in the (a, s, b) grid with a ≥ 1 at
 // n = threshold (expected: frozen) and n = threshold+1 (expected:
-// converged), running the static census adversary with τ = a+s.
+// converged), running the static census adversary with τ = a+s. The grid's
+// probes run in parallel.
 //
 // The a ≥ 1 restriction keeps the boundary runs well-defined: with no
 // asymmetric fault the boundary multiset has no survivors after full
 // trimming and the protocol degrades to capped trimming, which is a
 // different (still non-converging) regime than the clean freeze.
 func MixedModeBounds(maxA, maxS, maxB int, algo msr.Algorithm, opt Options) (*MixedModeResult, error) {
-	res := &MixedModeResult{Algorithm: algo.Name()}
+	var jobs []Job
+	var censuses []mixedmode.Counts
 	for a := 1; a <= maxA; a++ {
 		for s := 0; s <= maxS; s++ {
 			for b := 0; b <= maxB; b++ {
 				census := mixedmode.Counts{Asymmetric: a, Symmetric: s, Benign: b}
 				for _, n := range []int{census.Threshold(), census.Threshold() + 1} {
-					cell, err := runMixedMode(census, n, algo, opt)
+					job, err := mixedModeJob(census, n, algo, opt)
 					if err != nil {
 						return nil, fmt.Errorf("sweep: mixed-mode %v n=%d: %w", census, n, err)
 					}
-					res.Cells = append(res.Cells, cell)
+					jobs = append(jobs, job)
+					censuses = append(censuses, census)
 				}
 			}
 		}
 	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &MixedModeResult{Algorithm: algo.Name()}
+	for i, r := range results {
+		res.Cells = append(res.Cells, MixedModeCell{
+			Census:        censuses[i],
+			N:             jobs[i].N,
+			AboveBound:    censuses[i].Satisfied(jobs[i].N),
+			Converged:     r.Converged,
+			Rounds:        r.Rounds,
+			FinalDiameter: r.FinalDiameter(),
+		})
+	}
 	return res, nil
 }
 
-func runMixedMode(census mixedmode.Counts, n int, algo msr.Algorithm, opt Options) (MixedModeCell, error) {
+func mixedModeJob(census mixedmode.Counts, n int, algo msr.Algorithm, opt Options) (Job, error) {
 	inputs, err := mobile.MixedModeLayout(census, n, 0, 1)
 	if err != nil {
-		return MixedModeCell{}, err
+		return Job{}, err
 	}
-	above := census.Satisfied(n)
 	fixed := 0
-	if !above {
+	if !census.Satisfied(n) {
 		fixed = opt.FreezeRounds
 	}
-	cfg := core.Config{
+	return Job{
 		// M4 carries the static run: agents never move under the census
 		// adversary, so no process is ever cured and M4's n-sized receive
 		// sets match the static model; the benign faults are the census's
@@ -74,25 +90,11 @@ func runMixedMode(census mixedmode.Counts, n int, algo msr.Algorithm, opt Option
 		N:            n,
 		F:            census.Total(),
 		Algorithm:    algo,
-		Adversary:    mobile.NewMixedMode(census),
+		Adversary:    func() mobile.Adversary { return mobile.NewMixedMode(census) },
 		Inputs:       inputs,
 		TrimOverride: census.Asymmetric + census.Symmetric,
-		Epsilon:      opt.Epsilon,
-		MaxRounds:    opt.MaxRounds,
 		FixedRounds:  fixed,
-		Seed:         opt.Seed,
-	}
-	r, err := core.Run(cfg)
-	if err != nil {
-		return MixedModeCell{}, err
-	}
-	return MixedModeCell{
-		Census:        census,
-		N:             n,
-		AboveBound:    above,
-		Converged:     r.Converged,
-		Rounds:        r.Rounds,
-		FinalDiameter: r.FinalDiameter(),
+		Label:        "t0",
 	}, nil
 }
 

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"mbfaa/internal/core"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
 	"mbfaa/internal/prng"
@@ -30,8 +29,9 @@ type EpsilonSweepResult struct {
 }
 
 // EpsilonSweep runs the splitter workload at n = RequiredN(f) for a
-// decade-spaced ladder of tolerances. Under a worst-case adversary the
-// measured round count should track the guarantee-derived prediction.
+// decade-spaced ladder of tolerances; the ladder's runs execute in
+// parallel. Under a worst-case adversary the measured round count should
+// track the guarantee-derived prediction.
 func EpsilonSweep(model mobile.Model, f int, algo msr.Algorithm, decades int, opt Options) (*EpsilonSweepResult, error) {
 	n := model.RequiredN(f)
 	res := &EpsilonSweepResult{Model: model, N: n, F: f, Algorithm: algo.Name()}
@@ -40,22 +40,30 @@ func EpsilonSweep(model mobile.Model, f int, algo msr.Algorithm, decades int, op
 		m = n - f
 	}
 	contraction, haveC := algo.Contraction(m, model.Trim(f), model.AsymmetricSenders(f))
+	jobs := make([]Job, 0, decades)
 	eps := 0.1
 	for d := 0; d < decades; d++ {
-		o := opt
-		o.Epsilon = eps
-		r, err := splitterRun(model, n, f, algo, o, 0)
+		job, err := splitterJob(model, n, f, algo, 0)
 		if err != nil {
 			return nil, err
 		}
-		p := EpsilonPoint{Epsilon: eps, Rounds: r.Rounds, Converged: r.Converged}
+		job.Epsilon = eps
+		job.Label = "f7"
+		jobs = append(jobs, job)
+		eps /= 10
+	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		p := EpsilonPoint{Epsilon: jobs[i].Epsilon, Rounds: r.Rounds, Converged: r.Converged}
 		if haveC {
-			if pred, err := msr.RequiredRounds(1, eps, contraction); err == nil {
+			if pred, err := msr.RequiredRounds(1, jobs[i].Epsilon, contraction); err == nil {
 				p.Predicted = pred
 			}
 		}
 		res.Points = append(res.Points, p)
-		eps /= 10
 	}
 	return res, nil
 }
@@ -104,7 +112,9 @@ type RobustnessResult struct {
 }
 
 // SeedRobustness runs `seeds` independent executions with random inputs and
-// the random adversary at n = RequiredN(f) and aggregates the outcomes.
+// the random adversary at n = RequiredN(f), in parallel, and aggregates the
+// outcomes. Each execution pins its seed explicitly (the seed ladder IS the
+// experiment), so the aggregate is identical for any worker count.
 func SeedRobustness(model mobile.Model, f, seeds int, algo msr.Algorithm, opt Options) (*RobustnessResult, error) {
 	if seeds < 1 {
 		return nil, fmt.Errorf("sweep: need at least one seed")
@@ -115,7 +125,7 @@ func SeedRobustness(model mobile.Model, f, seeds int, algo msr.Algorithm, opt Op
 		Algorithm: algo.Name(), Seeds: seeds,
 		AllValid: true, AllEpsOK: true,
 	}
-	rounds := make([]int, 0, seeds)
+	jobs := make([]Job, 0, seeds)
 	for s := 0; s < seeds; s++ {
 		seed := opt.Seed + uint64(s)*7919
 		rng := prng.New(seed)
@@ -123,21 +133,24 @@ func SeedRobustness(model mobile.Model, f, seeds int, algo msr.Algorithm, opt Op
 		for i := range inputs {
 			inputs[i] = rng.Range(0, 1)
 		}
-		cfg := core.Config{
-			Model:     model,
-			N:         n,
-			F:         f,
-			Algorithm: algo,
-			Adversary: mobile.NewRandom(),
-			Inputs:    inputs,
-			Epsilon:   opt.Epsilon,
-			MaxRounds: opt.MaxRounds,
-			Seed:      seed,
-		}
-		r, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: robustness seed %d: %w", seed, err)
-		}
+		jobs = append(jobs, Job{
+			Model:        model,
+			N:            n,
+			F:            f,
+			Algorithm:    algo,
+			Adversary:    func() mobile.Adversary { return mobile.NewRandom() },
+			Inputs:       inputs,
+			Seed:         seed,
+			ExplicitSeed: true,
+			Label:        "f8",
+		})
+	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	rounds := make([]int, 0, seeds)
+	for _, r := range results {
 		if r.Converged {
 			res.Converged++
 			rounds = append(rounds, r.Rounds)

@@ -1,0 +1,273 @@
+package sweep
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+// testOpts returns fast options for the invariance suite: the freeze probes
+// dominate wall-clock and 20 rounds are enough to decide convergence shape.
+func testOpts(workers int) Options {
+	opt := DefaultOptions()
+	opt.FreezeRounds = 20
+	opt.Workers = workers
+	return opt
+}
+
+// workerLadder is the set of worker counts every generator must agree
+// across: the sequential reference, a small fixed pool, and the default.
+func workerLadder() []int {
+	return []int{1, 2, runtime.NumCPU()}
+}
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+	seen := make(map[uint64]int)
+	for idx := 0; idx < 1000; idx++ {
+		s := DeriveSeed(1, idx)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("indices %d and %d collide on seed %d", prev, idx, s)
+		}
+		seen[s] = idx
+	}
+	if DeriveSeed(1, 7) == DeriveSeed(2, 7) {
+		t.Error("distinct bases should give distinct streams at the same index")
+	}
+}
+
+// TestRunJobsResultsInJobOrder checks that results line up with the job
+// slice, not with completion order.
+func TestRunJobsResultsInJobOrder(t *testing.T) {
+	var jobs []Job
+	ns := []int{}
+	for n := 7; n <= 14; n++ {
+		job, err := splitterJob(mobile.M1Garay, n, 1, msr.FTA{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+		ns = append(ns, n)
+	}
+	results, err := RunJobs(jobs, testOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if len(r.Votes) != ns[i] {
+			t.Errorf("result %d: %d votes, want n=%d — results out of job order",
+				i, len(r.Votes), ns[i])
+		}
+	}
+}
+
+// TestRunJobsErrorNamesFirstFailingJob checks that the error is chosen in
+// job order and carries the job's identity.
+func TestRunJobsErrorNamesFirstFailingJob(t *testing.T) {
+	good, err := splitterJob(mobile.M1Garay, 8, 1, msr.FTA{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Adversary = nil
+	bad.Label = "broken"
+	_, err = RunJobs([]Job{good, bad, good}, testOpts(3))
+	if err == nil {
+		t.Fatal("nil adversary constructor accepted")
+	}
+	if !strings.Contains(err.Error(), "job 1") || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error should name job 1 and its label: %v", err)
+	}
+}
+
+// TestRunJobsExplicitSeed checks both seed modes: an explicit seed pins the
+// stream regardless of index, while derived seeds differ across indices.
+func TestRunJobsExplicitSeed(t *testing.T) {
+	n := mobile.M1Garay.RequiredN(1)
+	mk := func(explicit bool) Job {
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = float64(i) / float64(n)
+		}
+		return Job{
+			Model:        mobile.M1Garay,
+			N:            n,
+			F:            1,
+			Algorithm:    msr.FTM{},
+			Adversary:    func() mobile.Adversary { return mobile.NewRandom() },
+			Inputs:       inputs,
+			Seed:         42,
+			ExplicitSeed: explicit,
+		}
+	}
+	pinned, err := RunJobs([]Job{mk(true), mk(true)}, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Votes may hold NaN (processes faulty at the end), which DeepEqual
+	// rejects; the diameter series is NaN-free and covers every round.
+	if pinned[0].Rounds != pinned[1].Rounds ||
+		!reflect.DeepEqual(pinned[0].DiameterSeries, pinned[1].DiameterSeries) {
+		t.Error("explicit seed: identical jobs at different indices must replay identically")
+	}
+	derived, err := RunJobs([]Job{mk(false), mk(false)}, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(derived[0].DiameterSeries, derived[1].DiameterSeries) {
+		t.Error("derived seeds: distinct indices should drive distinct random streams")
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	cpuCapped := func(jobs int) int {
+		if n := runtime.NumCPU(); n < jobs {
+			return n
+		}
+		return jobs
+	}
+	cases := []struct {
+		workers, jobs, want int
+	}{
+		{0, 100, cpuCapped(100)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{-1, 2, cpuCapped(2)},
+		{4, 0, 1},
+	}
+	for _, c := range cases {
+		opt := Options{Workers: c.workers}
+		if got := opt.workerCount(c.jobs); got != c.want {
+			t.Errorf("workerCount(workers=%d, jobs=%d) = %d, want %d", c.workers, c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestGeneratorsWorkerInvariance is the acceptance test for the parallel
+// runner: every generator's rendered output must be byte-identical across
+// worker counts, workers=1 being the sequential reference.
+func TestGeneratorsWorkerInvariance(t *testing.T) {
+	generators := []struct {
+		name string
+		run  func(opt Options) (string, error)
+	}{
+		{"Table1", func(opt Options) (string, error) {
+			r, err := Table1(2, opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Table2", func(opt Options) (string, error) {
+			r, err := Table2([]int{1, 2}, msr.FTA{}, opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Trajectory", func(opt Options) (string, error) {
+			var b strings.Builder
+			for _, model := range mobile.AllModels() {
+				r, err := Trajectory(model, 2, msr.FTM{}, opt)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(r.Render())
+			}
+			return b.String(), nil
+		}},
+		{"RoundsVsN", func(opt Options) (string, error) {
+			r, err := RoundsVsN(mobile.M2Bonnet, 2, 6, msr.FTM{}, opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Ablation", func(opt Options) (string, error) {
+			r, err := Ablation(2, opt, msr.All())
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"MobileVsStatic", func(opt Options) (string, error) {
+			var b strings.Builder
+			for _, model := range mobile.AllModels() {
+				r, err := MobileVsStatic(model, 2, msr.FTA{}, opt)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(r.Render())
+			}
+			return b.String(), nil
+		}},
+		{"EpsilonSweep", func(opt Options) (string, error) {
+			r, err := EpsilonSweep(mobile.M3Sasaki, 2, msr.FTM{}, 4, opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"SeedRobustness", func(opt Options) (string, error) {
+			r, err := SeedRobustness(mobile.M1Garay, 2, 16, msr.FTM{}, opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"MixedModeBounds", func(opt Options) (string, error) {
+			r, err := MixedModeBounds(2, 1, 1, msr.FTA{}, opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+	for _, g := range generators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := g.run(testOpts(1))
+			if err != nil {
+				t.Fatalf("sequential reference: %v", err)
+			}
+			for _, w := range workerLadder()[1:] {
+				got, err := g.run(testOpts(w))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got != ref {
+					t.Errorf("workers=%d output differs from the sequential reference:\n--- workers=1\n%s\n--- workers=%d\n%s", w, ref, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratorsRepeatable re-runs one parallel generator to catch
+// scheduling-dependent nondeterminism that a single comparison could miss.
+func TestGeneratorsRepeatable(t *testing.T) {
+	opt := testOpts(runtime.NumCPU())
+	first, err := Table2([]int{1, 2}, msr.FTM{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Table2([]int{1, 2}, msr.FTM{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs from the first parallel run", i)
+		}
+	}
+}

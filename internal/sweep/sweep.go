@@ -4,6 +4,29 @@
 // (convergence trajectory, rounds-vs-n, algorithm ablation, mobile-vs-
 // static). cmd/mbfaa-tables and bench_test.go are thin wrappers over this
 // package.
+//
+// # Parallel runner
+//
+// Every generator compiles its parameter loops into a []Job — one Job per
+// protocol execution, carrying model, system size, algorithm, an adversary
+// constructor and round limits — and hands the slice to RunJobs, which
+// executes the jobs on a bounded worker pool (Options.Workers; default
+// runtime.NumCPU()) and returns results in job order.
+//
+// Determinism is a hard requirement: a sweep's output must be bit-identical
+// regardless of worker count or completion order. The runner guarantees it
+// by construction:
+//
+//   - each job's PRNG seed is derived from (Options.Seed, job index) alone
+//     (DeriveSeed), never from scheduling;
+//   - adversaries are constructed fresh inside each run via the Job's
+//     constructor, so no mutable state is shared across workers;
+//   - results land in a slice indexed by job position, so collection order
+//     cannot leak into the output.
+//
+// Consequently workers=1 is the sequential reference and any other worker
+// count reproduces it byte-for-byte, which runner_test.go asserts for every
+// generator.
 package sweep
 
 import (
@@ -28,36 +51,17 @@ type Options struct {
 	// FreezeRounds is the fixed horizon used when demonstrating
 	// non-convergence at the bound.
 	FreezeRounds int
-	// Seed feeds the runs' PRNG streams.
+	// Seed feeds the runs' PRNG streams; each job's seed is derived from
+	// (Seed, job index), see DeriveSeed.
 	Seed uint64
+	// Workers bounds the experiment runner's worker pool. 0 (the default)
+	// means runtime.NumCPU(). Results are independent of the value.
+	Workers int
 }
 
 // DefaultOptions returns the parameters used throughout EXPERIMENTS.md.
 func DefaultOptions() Options {
 	return Options{Epsilon: 1e-3, MaxRounds: 400, FreezeRounds: 200, Seed: 1}
-}
-
-// splitterRun builds and executes one splitter-adversary run with the
-// paper's adversarial starting configuration (camps + initial cured).
-func splitterRun(model mobile.Model, n, f int, algo msr.Algorithm, opt Options, fixedRounds int) (*core.Result, error) {
-	layout, err := mobile.SplitterLayout(model, n, f, 0, 1)
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.Config{
-		Model:        model,
-		N:            n,
-		F:            f,
-		Algorithm:    algo,
-		Adversary:    mobile.NewSplitter(),
-		Inputs:       layout.Inputs(n),
-		InitialCured: layout.InitialCured(model, f),
-		Epsilon:      opt.Epsilon,
-		MaxRounds:    opt.MaxRounds,
-		FixedRounds:  fixedRounds,
-		Seed:         opt.Seed,
-	}
-	return core.Run(cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -87,69 +91,73 @@ type Table1Result struct {
 // Table1 reproduces the paper's Table 1: it runs one adversarial round per
 // model at n = RequiredN(f) with a cured cohort present, classifies every
 // sender's behaviour from the observation matrix alone, and compares the
-// classes against the mapping.
+// classes against the mapping. The four model runs execute in parallel.
 func Table1(f int, opt Options) (*Table1Result, error) {
-	res := &Table1Result{F: f}
-	for _, model := range mobile.AllModels() {
+	models := mobile.AllModels()
+	jobs := make([]Job, 0, len(models))
+	captured := make([]*core.RoundInfo, len(models))
+	for i, model := range models {
 		n := model.RequiredN(f)
-		layout, err := mobile.SplitterLayout(model, n, f, 0, 1)
-		if err != nil {
-			return nil, err
-		}
-		var captured *core.RoundInfo
-		cfg := core.Config{
-			Model:        model,
-			N:            n,
-			F:            f,
-			Algorithm:    msr.FTA{},
-			Adversary:    mobile.NewSplitter(),
-			Inputs:       layout.Inputs(n),
-			InitialCured: layout.InitialCured(model, f),
-			Epsilon:      opt.Epsilon,
-			FixedRounds:  1,
-			Seed:         opt.Seed,
-			OnRound: func(ri core.RoundInfo) {
-				if ri.Round == 0 {
-					captured = &ri
-				}
-			},
-		}
-		if _, err := core.Run(cfg); err != nil {
-			return nil, fmt.Errorf("sweep: table1 %v: %w", model, err)
-		}
-		if captured == nil {
-			return nil, fmt.Errorf("sweep: table1 %v: round 0 not captured", model)
-		}
-
-		var correctReceivers []int
-		for i, s := range captured.SendStates {
-			if s == mobile.StateCorrect {
-				correctReceivers = append(correctReceivers, i)
-			}
-		}
-		_, classes, err := captured.Matrix.Census(correctReceivers, captured.Expected)
+		job, err := splitterJob(model, n, f, msr.FTA{}, 1)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: table1 %v: %w", model, err)
 		}
-
-		row := Table1Row{Model: model, ExpectedCured: model.CuredClass(), Match: true}
-		for i, s := range captured.SendStates {
-			switch s {
-			case mobile.StateFaulty:
-				row.FaultyClasses = append(row.FaultyClasses, classes[i])
-				if classes[i] != mixedmode.ClassAsymmetric {
-					row.Match = false
-				}
-			case mobile.StateCured:
-				row.CuredClasses = append(row.CuredClasses, classes[i])
-				if classes[i] != row.ExpectedCured {
-					row.Match = false
-				}
+		job.Label = "table1"
+		slot := &captured[i] // each job writes its own slot; no sharing
+		job.OnRound = func(ri core.RoundInfo) {
+			if ri.Round == 0 {
+				*slot = &ri
 			}
+		}
+		jobs = append(jobs, job)
+	}
+	if _, err := RunJobs(jobs, opt); err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{F: f}
+	for i, model := range models {
+		row, err := table1Row(model, captured[i])
+		if err != nil {
+			return nil, fmt.Errorf("sweep: table1 %v: %w", model, err)
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// table1Row classifies one model's captured round-0 snapshot.
+func table1Row(model mobile.Model, captured *core.RoundInfo) (Table1Row, error) {
+	if captured == nil {
+		return Table1Row{}, fmt.Errorf("round 0 not captured")
+	}
+	var correctReceivers []int
+	for i, s := range captured.SendStates {
+		if s == mobile.StateCorrect {
+			correctReceivers = append(correctReceivers, i)
+		}
+	}
+	_, classes, err := captured.Matrix.Census(correctReceivers, captured.Expected)
+	if err != nil {
+		return Table1Row{}, err
+	}
+
+	row := Table1Row{Model: model, ExpectedCured: model.CuredClass(), Match: true}
+	for i, s := range captured.SendStates {
+		switch s {
+		case mobile.StateFaulty:
+			row.FaultyClasses = append(row.FaultyClasses, classes[i])
+			if classes[i] != mixedmode.ClassAsymmetric {
+				row.Match = false
+			}
+		case mobile.StateCured:
+			row.CuredClasses = append(row.CuredClasses, classes[i])
+			if classes[i] != row.ExpectedCured {
+				row.Match = false
+			}
+		}
+	}
+	return row, nil
 }
 
 // Render formats the result in the paper's Table 1 layout.
@@ -203,10 +211,11 @@ type Table2Result struct {
 }
 
 // Table2 sweeps n from the bound to bound+2f for every model and the given
-// fault counts, under the splitter adversary. The expected shape: frozen
-// diameter at n = bound, convergence for every n > bound.
+// fault counts, under the splitter adversary; the grid's cells run in
+// parallel. The expected shape: frozen diameter at n = bound, convergence
+// for every n > bound.
 func Table2(fs []int, algo msr.Algorithm, opt Options) (*Table2Result, error) {
-	res := &Table2Result{Algorithm: algo.Name()}
+	var jobs []Job
 	for _, model := range mobile.AllModels() {
 		for _, f := range fs {
 			bound := model.Bound(f)
@@ -215,21 +224,31 @@ func Table2(fs []int, algo msr.Algorithm, opt Options) (*Table2Result, error) {
 				if n <= bound {
 					fixed = opt.FreezeRounds
 				}
-				r, err := splitterRun(model, n, f, algo, opt, fixed)
+				job, err := splitterJob(model, n, f, algo, fixed)
 				if err != nil {
 					return nil, fmt.Errorf("sweep: table2 %v n=%d f=%d: %w", model, n, f, err)
 				}
-				res.Cells = append(res.Cells, Table2Cell{
-					Model:         model,
-					N:             n,
-					F:             f,
-					AboveBound:    n > bound,
-					Converged:     r.Converged,
-					Rounds:        r.Rounds,
-					FinalDiameter: r.FinalDiameter(),
-				})
+				job.Label = "table2"
+				jobs = append(jobs, job)
 			}
 		}
+	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Algorithm: algo.Name()}
+	for i, r := range results {
+		j := jobs[i]
+		res.Cells = append(res.Cells, Table2Cell{
+			Model:         j.Model,
+			N:             j.N,
+			F:             j.F,
+			AboveBound:    j.N > j.Model.Bound(j.F),
+			Converged:     r.Converged,
+			Rounds:        r.Rounds,
+			FinalDiameter: r.FinalDiameter(),
+		})
 	}
 	return res, nil
 }
@@ -282,7 +301,12 @@ type TrajectoryResult struct {
 // splitter adversary.
 func Trajectory(model mobile.Model, f int, algo msr.Algorithm, opt Options) (*TrajectoryResult, error) {
 	n := model.RequiredN(f)
-	r, err := splitterRun(model, n, f, algo, opt, 0)
+	job, err := splitterJob(model, n, f, algo, 0)
+	if err != nil {
+		return nil, err
+	}
+	job.Label = "f1"
+	r, err := runOne(job, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -324,17 +348,26 @@ type RoundsVsNResult struct {
 	Points    []RoundsVsNPoint
 }
 
-// RoundsVsN sweeps n from RequiredN(f) upward `width` steps and records the
-// rounds needed to reach ε under the splitter adversary.
+// RoundsVsN sweeps n from RequiredN(f) upward `width` steps in parallel and
+// records the rounds needed to reach ε under the splitter adversary.
 func RoundsVsN(model mobile.Model, f, width int, algo msr.Algorithm, opt Options) (*RoundsVsNResult, error) {
-	res := &RoundsVsNResult{Model: model, F: f, Algorithm: algo.Name()}
 	start := model.RequiredN(f)
+	jobs := make([]Job, 0, width)
 	for n := start; n < start+width; n++ {
-		r, err := splitterRun(model, n, f, algo, opt, 0)
+		job, err := splitterJob(model, n, f, algo, 0)
 		if err != nil {
 			return nil, err
 		}
-		res.Points = append(res.Points, RoundsVsNPoint{N: n, Rounds: r.Rounds, Converged: r.Converged})
+		job.Label = "f2"
+		jobs = append(jobs, job)
+	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &RoundsVsNResult{Model: model, F: f, Algorithm: algo.Name()}
+	for i, r := range results {
+		res.Points = append(res.Points, RoundsVsNPoint{N: jobs[i].N, Rounds: r.Rounds, Converged: r.Converged})
 	}
 	return res, nil
 }
@@ -385,9 +418,10 @@ type AblationResult struct {
 }
 
 // Ablation measures every algorithm (including the Median negative control)
-// under the greedy adversary at n = RequiredN(f).
+// under the greedy adversary at n = RequiredN(f); the model × algorithm
+// grid runs in parallel.
 func Ablation(f int, opt Options, algos []msr.Algorithm) (*AblationResult, error) {
-	res := &AblationResult{F: f}
+	var jobs []Job
 	for _, model := range mobile.AllModels() {
 		n := model.RequiredN(f)
 		for _, algo := range algos {
@@ -395,44 +429,46 @@ func Ablation(f int, opt Options, algos []msr.Algorithm) (*AblationResult, error
 			if err != nil {
 				return nil, err
 			}
-			cfg := core.Config{
+			jobs = append(jobs, Job{
 				Model:        model,
 				N:            n,
 				F:            f,
 				Algorithm:    algo,
-				Adversary:    mobile.NewGreedy(),
+				Adversary:    func() mobile.Adversary { return mobile.NewGreedy() },
 				Inputs:       layout.Inputs(n),
 				InitialCured: layout.InitialCured(model, f),
-				Epsilon:      opt.Epsilon,
-				MaxRounds:    opt.MaxRounds,
-				Seed:         opt.Seed,
-			}
-			r, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: ablation %v %s: %w", model, algo.Name(), err)
-			}
-			row := AblationRow{
-				Model:     model,
-				Algorithm: algo.Name(),
-				Converged: r.Converged,
-				Rounds:    r.Rounds,
-			}
-			m := n
-			if model == mobile.M1Garay {
-				m = n - f
-			}
-			if g, ok := algo.Contraction(m, model.Trim(f), model.AsymmetricSenders(f)); ok {
-				row.Guaranteed = g
-			} else {
-				row.Guaranteed = math.NaN()
-			}
-			if w, err := analysis.Series(r.DiameterSeries).WorstContraction(); err == nil {
-				row.WorstObserved = w
-			} else {
-				row.WorstObserved = math.NaN()
-			}
-			res.Rows = append(res.Rows, row)
+				Label:        "f3",
+			})
 		}
+	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{F: f}
+	for i, r := range results {
+		j := jobs[i]
+		row := AblationRow{
+			Model:     j.Model,
+			Algorithm: j.Algorithm.Name(),
+			Converged: r.Converged,
+			Rounds:    r.Rounds,
+		}
+		m := j.N
+		if j.Model == mobile.M1Garay {
+			m = j.N - j.F
+		}
+		if g, ok := j.Algorithm.Contraction(m, j.Model.Trim(j.F), j.Model.AsymmetricSenders(j.F)); ok {
+			row.Guaranteed = g
+		} else {
+			row.Guaranteed = math.NaN()
+		}
+		if w, err := analysis.Series(r.DiameterSeries).WorstContraction(); err == nil {
+			row.WorstObserved = w
+		} else {
+			row.WorstObserved = math.NaN()
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
@@ -489,7 +525,8 @@ type MobileVsStaticResult struct {
 	GapDemonstrated bool
 }
 
-// MobileVsStatic runs the comparison for one model.
+// MobileVsStatic runs the comparison for one model; the two arms run in
+// parallel.
 func MobileVsStatic(model mobile.Model, f int, algo msr.Algorithm, opt Options) (*MobileVsStaticResult, error) {
 	n := model.Bound(f)
 	res := &MobileVsStaticResult{
@@ -501,31 +538,31 @@ func MobileVsStatic(model mobile.Model, f int, algo msr.Algorithm, opt Options) 
 	if err != nil {
 		return nil, err
 	}
-	staticCfg := core.Config{
+	staticJob := Job{
 		Model:        model,
 		N:            n,
 		F:            f,
 		Algorithm:    algo,
-		Adversary:    mobile.NewStationary(),
+		Adversary:    func() mobile.Adversary { return mobile.NewStationary() },
 		Inputs:       layout.Inputs(n),
 		TrimOverride: f, // static protocol: τ covers the f static faults
-		Epsilon:      opt.Epsilon,
-		MaxRounds:    opt.MaxRounds,
 		FixedRounds:  fixedIf(!res.GapExpected, opt.FreezeRounds),
-		Seed:         opt.Seed,
+		Label:        "f4-static",
 	}
-	stat, err := core.Run(staticCfg)
+	mobileJob, err := splitterJob(model, n, f, algo, opt.FreezeRounds)
 	if err != nil {
 		return nil, err
 	}
+	mobileJob.Label = "f4-mobile"
+
+	results, err := RunJobs([]Job{staticJob, mobileJob}, opt)
+	if err != nil {
+		return nil, err
+	}
+	stat, mob := results[0], results[1]
 	res.StaticConverged = stat.Converged
 	res.StaticRounds = stat.Rounds
 	res.StaticFinalDiameter = stat.FinalDiameter()
-
-	mob, err := splitterRun(model, n, f, algo, opt, opt.FreezeRounds)
-	if err != nil {
-		return nil, err
-	}
 	res.MobileConverged = mob.Converged
 	res.MobileFinalDiameter = mob.FinalDiameter()
 	res.MobileDiameterTrajectory = mob.DiameterSeries
