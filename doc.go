@@ -20,6 +20,14 @@
 // provided n exceeds the model's bound: 4f (M1/Garay), 5f (M2/Bonnet),
 // 6f (M3/Sasaki), 3f (M4/Buhrman).
 //
+// Determinism guarantee: a run is identified by its configuration and seed,
+// and replays bit-identically — across the deterministic and concurrent
+// engines, across worker counts in the sweep harness, and across the
+// engine's scratch-reusing Runner (the hot path performs O(1) allocations
+// per round). The golden-determinism suite in internal/core pins recorded
+// output digests for a matrix of models, algorithms, adversaries and seeds,
+// so no optimization can silently change protocol semantics.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record, and the examples/ directory for runnable
 // scenarios (sensor fusion, clock synchronization, robot gathering).

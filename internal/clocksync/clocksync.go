@@ -126,6 +126,9 @@ func Run(cfg Config) (*Report, error) {
 	// corrections[i] maps hardware time to virtual time additively.
 	corrections := make([]float64, cfg.N)
 
+	// One engine runner serves every epoch, recycling the round-loop
+	// scratch state across the per-epoch agreement runs.
+	runner := core.NewRunner()
 	rep := &Report{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		t := float64(epoch+1) * cfg.EpochSeconds
@@ -144,7 +147,7 @@ func Run(cfg Config) (*Report, error) {
 			Epsilon:   cfg.Epsilon,
 			Seed:      cfg.Seed + uint64(epoch) + 1,
 		}
-		res, err := core.Run(agreeCfg)
+		res, err := runner.Run(agreeCfg)
 		if err != nil {
 			return nil, fmt.Errorf("clocksync: epoch %d: %w", epoch, err)
 		}

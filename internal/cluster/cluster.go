@@ -185,6 +185,14 @@ type Node struct {
 	tau    int
 	vote   float64
 	buffer map[int][]transport.Message // round → early messages
+
+	// Per-round receive scratch, recycled across rounds so the protocol
+	// loop does not allocate per round: slots[s] holds the message of
+	// sender s (seen[s] marks arrival), values accumulates the non-omitted
+	// round values handed to the voting function, which may reorder it.
+	slots  []transport.Message
+	seen   []bool
+	values []float64
 }
 
 // NewNode wires a node to its link.
@@ -201,6 +209,9 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 		tau:    cfg.Model.Trim(cfg.F),
 		vote:   cfg.Input,
 		buffer: make(map[int][]transport.Message),
+		slots:  make([]transport.Message, cfg.N),
+		seen:   make([]bool, cfg.N),
+		values: make([]float64, 0, cfg.N),
 	}, nil
 }
 
@@ -302,15 +313,30 @@ func (nd *Node) send(round int, occupied, cured bool) error {
 // deadline passed. Early messages for future rounds are buffered; stale
 // messages are dropped.
 func (nd *Node) collect(round int) ([]float64, error) {
-	byFrom := make(map[int]transport.Message, nd.cfg.N)
+	count := 0
+	for i := range nd.seen {
+		nd.seen[i] = false
+	}
+	record := func(m transport.Message) {
+		// The transport layer validates sender ids at send time; drop
+		// anything out of range defensively rather than trusting it.
+		if m.From < 0 || m.From >= nd.cfg.N {
+			return
+		}
+		if !nd.seen[m.From] {
+			count++
+		}
+		nd.seen[m.From] = true
+		nd.slots[m.From] = m
+	}
 	for _, m := range nd.buffer[round] {
-		byFrom[m.From] = m
+		record(m)
 	}
 	delete(nd.buffer, round)
 
 	deadline := time.NewTimer(nd.cfg.RoundTimeout)
 	defer deadline.Stop()
-	for len(byFrom) < nd.cfg.N {
+	for count < nd.cfg.N {
 		select {
 		case m, ok := <-nd.link.Recv():
 			if !ok {
@@ -318,7 +344,7 @@ func (nd *Node) collect(round int) ([]float64, error) {
 			}
 			switch {
 			case m.Round == round:
-				byFrom[m.From] = m
+				record(m)
 			case m.Round > round:
 				nd.buffer[m.Round] = append(nd.buffer[m.Round], m)
 			default:
@@ -330,9 +356,12 @@ func (nd *Node) collect(round int) ([]float64, error) {
 		}
 	}
 done:
-	values := make([]float64, 0, len(byFrom))
-	for _, m := range byFrom {
-		if !m.Omitted && !math.IsNaN(m.Value) {
+	values := nd.values[:0]
+	for s := range nd.slots {
+		if !nd.seen[s] {
+			continue
+		}
+		if m := nd.slots[s]; !m.Omitted && !math.IsNaN(m.Value) {
 			values = append(values, m.Value)
 		}
 	}

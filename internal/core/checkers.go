@@ -124,7 +124,7 @@ func (r *CheckReport) checkRound(
 	round int,
 	cfg Config,
 	sendStates []mobile.State,
-	computeFaulty map[int]bool,
+	computeFaulty *faultySet,
 	newVotes []float64,
 	u multiset.Multiset,
 ) {
@@ -154,7 +154,7 @@ func (r *CheckReport) checkRound(
 	// P1 for every non-faulty process.
 	var nonFaulty []int
 	for i := 0; i < cfg.N; i++ {
-		if computeFaulty[i] {
+		if computeFaulty.has(i) {
 			continue
 		}
 		nonFaulty = append(nonFaulty, i)

@@ -16,13 +16,21 @@ import (
 // the deterministic engine uses, and every process's computation consumes
 // only the messages its goroutine actually received — so RunConcurrent
 // produces bit-identical Results to Run while exercising genuine concurrent
-// message passing. The test suite asserts that equivalence.
+// message passing. The test suite asserts that equivalence. It is
+// equivalent to NewRunner().RunConcurrent(cfg).
 func RunConcurrent(cfg Config) (*Result, error) {
+	return NewRunner().RunConcurrent(cfg)
+}
+
+// RunConcurrent executes the protocol on the goroutine-per-process engine,
+// recycling the Runner's coordinator-side scratch state. The per-worker
+// buffers are owned by the worker goroutines and die with the cluster.
+func (r *Runner) RunConcurrent(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	st, err := newRunState(cfg)
+	st, err := newRunState(cfg, &r.sc)
 	if err != nil {
 		return nil, err
 	}
@@ -30,11 +38,11 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	c := newCluster(cfg)
 	defer c.shutdown()
 
-	for r := 0; r < cfg.MaxRounds; r++ {
-		if err := st.runRoundConcurrent(c, r); err != nil {
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := st.runRoundConcurrent(c, round); err != nil {
 			return nil, err
 		}
-		if st.halted(r) {
+		if st.halted(round) {
 			break
 		}
 	}
@@ -135,10 +143,15 @@ func (c *cluster) shutdown() {
 
 // worker is one process: it sends per the coordinator's directive, receives
 // exactly n messages, computes its next vote from what it actually
-// received, and reports it.
+// received, and reports it. The observation row and the voting function's
+// value buffer are worker-owned scratch, allocated once and recycled every
+// round.
 func (c *cluster) worker(cfg Config, id int) {
 	defer c.wg.Done()
 	vote := cfg.Inputs[id]
+	tau := cfg.Tau()
+	row := make([]mixedmode.Observation, c.n)
+	values := make([]float64, 0, c.n)
 	for sd := range c.sendCh[id] {
 		if sd.hasSetVote {
 			vote = sd.setVote
@@ -158,7 +171,6 @@ func (c *cluster) worker(cfg Config, id int) {
 			}
 		}
 
-		row := make([]mixedmode.Observation, c.n)
 		for k := 0; k < c.n; k++ {
 			m := <-c.inboxes[id]
 			row[m.from] = mixedmode.Observation{Value: m.value, Omitted: m.omitted}
@@ -173,7 +185,7 @@ func (c *cluster) worker(cfg Config, id int) {
 			c.reports <- report{round: sd.round, from: id, value: vote}
 			continue
 		}
-		v, err := computeVote(cfg.Algorithm, cfg.Tau(), row, vote)
+		v, err := computeVote(cfg.Algorithm, tau, row, vote, values[:0])
 		if err != nil {
 			c.reports <- report{round: sd.round, from: id, err: fmt.Errorf("core: round %d process %d: %w", sd.round, id, err)}
 			continue
@@ -192,19 +204,21 @@ func (st *runState) runRoundConcurrent(c *cluster, round int) error {
 			return err
 		}
 	}
-	sendStates := append([]mobile.State(nil), st.states...)
+	sendStates := st.sendStatesForChecks()
 
-	plan, err := planSendPhase(cfg, round, st.votes, st.states, st.master)
+	plan, err := st.planSendPhase(round)
 	if err != nil {
 		return err
 	}
 
 	// Issue send directives derived from the same plan the deterministic
 	// engine computes; correct and M2-cured workers broadcast their own
-	// stored vote, which the coordinator synchronizes first.
+	// stored vote, which the coordinator synchronizes first. st.states
+	// still holds the send-phase states here: M4's mid-round movement
+	// only happens after the directives are issued.
 	for i := 0; i < cfg.N; i++ {
 		sd := sendDirective{round: round}
-		switch sendStates[i] {
+		switch st.states[i] {
 		case mobile.StateCorrect:
 			sd.mode = modeBroadcast
 			sd.setVote, sd.hasSetVote = st.votes[i], true
@@ -237,12 +251,10 @@ func (st *runState) runRoundConcurrent(c *cluster, round int) error {
 		}
 	}
 
-	computeFaulty := st.faulty
 	for i := 0; i < cfg.N; i++ {
-		c.computes[i] <- computeDirective{round: round, faulty: computeFaulty[i]}
+		c.computes[i] <- computeDirective{round: round, faulty: st.faulty.has(i)}
 	}
 
-	newVotes := make([]float64, cfg.N)
 	for k := 0; k < cfg.N; k++ {
 		rep := <-c.reports
 		if rep.err != nil {
@@ -251,41 +263,21 @@ func (st *runState) runRoundConcurrent(c *cluster, round int) error {
 		if rep.round != round {
 			return fmt.Errorf("core: report for round %d while running round %d", rep.round, round)
 		}
-		newVotes[rep.from] = rep.value
+		st.newVotes[rep.from] = rep.value
 	}
 	for i := 0; i < cfg.N; i++ {
-		if !computeFaulty[i] {
-			st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: newVotes[i]})
+		if !st.faulty.has(i) {
+			st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: st.newVotes[i]})
 		}
 	}
 
-	if st.report != nil {
-		st.report.checkRound(round, cfg, sendStates, computeFaulty, newVotes, plan.u)
-	}
-	if cfg.OnRound != nil {
-		cfg.OnRound(RoundInfo{
-			Round:         round,
-			SendStates:    sendStates,
-			Matrix:        plan.matrix,
-			Expected:      plan.expected,
-			Votes:         append([]float64(nil), newVotes...),
-			ComputeFaulty: sortedKeys(computeFaulty),
-			U:             plan.u,
-		})
-	}
-
-	st.votes = newVotes
-	for i := range st.states {
-		if st.states[i] == mobile.StateCured {
-			st.states[i] = mobile.StateCorrect
-		}
-	}
-	st.diamSeries = append(st.diamSeries, st.currentDiameter())
-	st.rounds = round + 1
+	st.finishRound(round, sendStates, plan)
 	return nil
 }
 
 // scriptColumn extracts sender's outgoing messages from the planned matrix.
+// The slice is handed to a worker goroutine that drains it at its own pace,
+// so it cannot live in coordinator scratch.
 func scriptColumn(m *mixedmode.Matrix, sender, round, n int) []message {
 	out := make([]message, n)
 	for j := 0; j < n; j++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mbfaa/internal/mixedmode"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/multiset"
 	"mbfaa/internal/prng"
@@ -13,36 +14,183 @@ import (
 // Run executes the protocol on the deterministic single-threaded engine and
 // returns the Result. It is the reference implementation of the round
 // semantics; RunConcurrent produces bit-identical results over real
-// message-passing goroutines.
+// message-passing goroutines. Callers executing many runs should hold a
+// Runner and call its Run method instead, which recycles all per-round
+// scratch state; this function is equivalent to NewRunner().Run(cfg).
 func Run(cfg Config) (*Result, error) {
+	return NewRunner().Run(cfg)
+}
+
+// faultySet tracks which processes currently host an agent, as a flat
+// generation-counter array: process p is faulty iff gen[p] equals the
+// current epoch. Advancing the epoch clears the whole set in O(1), and the
+// previous round's membership stays readable (gen[p] == cur-1) — exactly
+// the was-faulty/now-cured transition the movement phase needs. It replaces
+// the per-round map[int]bool, which cost an allocation per round and
+// hashed on every membership test.
+type faultySet struct {
+	gen []uint64
+	cur uint64
+}
+
+// reset prepares the set for a fresh run of n processes: empty, at epoch 1
+// (epoch 0 is reserved as "never marked" so a recycled gen array cannot
+// leak membership across runs).
+func (s *faultySet) reset(n int) {
+	if cap(s.gen) < n {
+		s.gen = make([]uint64, n)
+	}
+	s.gen = s.gen[:n]
+	for i := range s.gen {
+		s.gen[i] = 0
+	}
+	s.cur = 1
+}
+
+// advance starts a new epoch with an empty membership.
+func (s *faultySet) advance() { s.cur++ }
+
+// mark adds p to the current epoch's membership.
+func (s *faultySet) mark(p int) { s.gen[p] = s.cur }
+
+// has reports whether p is faulty in the current epoch.
+func (s *faultySet) has(p int) bool { return s.gen[p] == s.cur }
+
+// wasPrev reports whether p was faulty in the previous epoch and has not
+// been re-marked — the processes an agent just departed.
+func (s *faultySet) wasPrev(p int) bool { return s.gen[p] == s.cur-1 }
+
+// members returns the current membership in ascending process order (the
+// scan is ordered, so no sort is needed). It allocates and is only called
+// on the OnRound snapshot path.
+func (s *faultySet) members() []int {
+	var out []int
+	for p := range s.gen {
+		if s.gen[p] == s.cur {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// scratch is the reusable buffer set behind a Runner: every slice the round
+// loop needs, sized once per system size and recycled across rounds and
+// runs. With scratch in place a steady-state round performs O(1)
+// allocations (PRNG stream derivations and whatever the adversary itself
+// allocates) instead of the former O(n²).
+type scratch struct {
+	n int // current buffer capacity, in processes
+
+	votes    []float64      // stored values (swapped with newVotes each round)
+	newVotes []float64      // computation-phase output buffer
+	states   []mobile.State // failure states
+
+	viewVotes  []float64      // snapshotView's vote copy
+	viewStates []mobile.State // snapshotView's state copy
+	view       mobile.View    // the reusable adversary view
+	rng        prng.Source    // the view's per-phase derived stream
+
+	faulty faultySet
+
+	sendStates []mobile.State    // send-phase state snapshot for the checkers
+	values     []float64         // computeVote's non-omitted value buffer
+	uValues    []float64         // planSendPhase's U accumulation buffer
+	matrix     *mixedmode.Matrix // reusable observation matrix
+}
+
+// ensure sizes every buffer for n processes. Flat buffers grow
+// monotonically and are resliced to [:n] per run; the matrix is kept at
+// exactly n×n — a run that reused a larger matrix would pay the larger
+// dimension's O(n²) reset every round and scan oversized observation rows,
+// so bouncing between system sizes re-makes it (one allocation per size
+// change, not per round).
+func (sc *scratch) ensure(n int) error {
+	if sc.n < n {
+		sc.votes = make([]float64, n)
+		sc.newVotes = make([]float64, n)
+		sc.states = make([]mobile.State, n)
+		sc.viewVotes = make([]float64, n)
+		sc.viewStates = make([]mobile.State, n)
+		sc.sendStates = make([]mobile.State, n)
+		sc.values = make([]float64, 0, n)
+		sc.uValues = make([]float64, 0, n)
+		sc.n = n
+	}
+	if sc.matrix == nil || sc.matrix.N() != n {
+		m, err := mixedmode.NewMatrix(n)
+		if err != nil {
+			return err
+		}
+		sc.matrix = m
+	}
+	return nil
+}
+
+// Runner executes protocol runs while recycling all per-round scratch
+// state: vote and state buffers, the adversary view, the observation
+// matrix, the faulty set, and the computation-phase value buffer. A Runner
+// is NOT safe for concurrent use — hold one per goroutine (internal/sweep
+// gives each pool worker its own). Results remain valid after the Runner is
+// reused: everything a Result carries is copied out of scratch at the end
+// of the run. The zero value is ready to use.
+//
+// Reuse does not weaken determinism: Runner.Run and package-level Run are
+// bit-identical for every Config, which the golden-determinism suite
+// asserts across models, algorithms, adversaries and seeds.
+type Runner struct {
+	sc scratch
+}
+
+// NewRunner returns a Runner with empty scratch; buffers are sized lazily
+// on first use and grow monotonically to the largest N seen.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes the protocol on the deterministic engine, recycling the
+// Runner's scratch state.
+func (r *Runner) Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	st, err := newRunState(cfg)
+	st, err := newRunState(cfg, &r.sc)
 	if err != nil {
 		return nil, err
 	}
-	for r := 0; r < cfg.MaxRounds; r++ {
-		if err := st.runRound(r); err != nil {
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := st.runRound(round); err != nil {
 			return nil, err
 		}
-		if st.halted(r) {
+		if st.halted(round) {
 			break
 		}
 	}
 	return st.result(), nil
 }
 
-// runState is the mutable state of one execution.
+// runState is the mutable state of one execution. Its slices alias the
+// scratch buffers; everything that outlives the run is copied into the
+// Result at the end.
 type runState struct {
 	cfg    Config
 	master *prng.Source
 	rec    *trace.Recorder
+	sc     *scratch
 
-	votes  []float64
-	states []mobile.State
-	faulty map[int]bool
+	votes    []float64
+	newVotes []float64
+	states   []mobile.State
+	faulty   *faultySet
+
+	// snapshot is set when Config.OnRound is non-nil: the per-round
+	// matrix, send states, expected values and U must then be freshly
+	// allocated, because the callback may legitimately retain them (the
+	// Table 1 experiment does). Without a callback they live in scratch.
+	snapshot bool
+	// copyViews is set when the adversary declares (via
+	// mobile.ViewRetainer) that it retains views across calls; the engine
+	// then hands it freshly allocated snapshots exactly as the
+	// pre-scratch engine did.
+	copyViews bool
 
 	initialRange multiset.Interval
 	diamSeries   []float64
@@ -51,26 +199,36 @@ type runState struct {
 	report       *CheckReport
 }
 
-// newRunState initializes votes and states and applies the round-0 agent
-// placement.
-func newRunState(cfg Config) (*runState, error) {
-	st := &runState{
-		cfg:    cfg,
-		master: prng.New(cfg.Seed),
-		rec:    cfg.Recorder,
-		votes:  append([]float64(nil), cfg.Inputs...),
-		states: make([]mobile.State, cfg.N),
-		faulty: make(map[int]bool, cfg.F),
+// newRunState initializes votes and states in the given scratch and applies
+// the round-0 agent placement.
+func newRunState(cfg Config, sc *scratch) (*runState, error) {
+	if err := sc.ensure(cfg.N); err != nil {
+		return nil, err
 	}
+	st := &runState{
+		cfg:      cfg,
+		master:   prng.New(cfg.Seed),
+		rec:      cfg.Recorder,
+		sc:       sc,
+		votes:    sc.votes[:cfg.N],
+		newVotes: sc.newVotes[:cfg.N],
+		states:   sc.states[:cfg.N],
+		faulty:   &sc.faulty,
+		snapshot: cfg.OnRound != nil,
+	}
+	if vr, ok := cfg.Adversary.(mobile.ViewRetainer); ok && vr.RetainsView() {
+		st.copyViews = true
+	}
+	copy(st.votes, cfg.Inputs)
 	for i := range st.states {
 		st.states[i] = mobile.StateCorrect
 	}
+	st.faulty.reset(cfg.N)
 	if cfg.EnableCheckers {
 		st.report = &CheckReport{}
 	}
 
-	view := viewFor(cfg, 0, phasePlace, st.votes, st.states, st.master)
-	placement, err := mobile.ValidatePlacement(cfg.Adversary.Place(view), cfg.N, cfg.F)
+	placement, err := mobile.ValidatePlacement(cfg.Adversary.Place(st.borrowView(0, phasePlace)), cfg.N, cfg.F)
 	if err != nil {
 		return nil, fmt.Errorf("core: round 0 placement: %w", err)
 	}
@@ -78,21 +236,23 @@ func newRunState(cfg Config) (*runState, error) {
 		st.states[p] = mobile.StateCured
 	}
 	for _, p := range placement {
-		st.faulty[p] = true
+		st.faulty.mark(p)
 		st.states[p] = mobile.StateFaulty
 		st.votes[p] = math.NaN()
 	}
-	st.rec.Record(trace.Event{Round: 0, Kind: trace.KindMove, To: -1,
-		Text: fmt.Sprintf("initial agents on %v, initial cured %v", placement, cfg.InitialCured)})
+	if st.rec.Enabled() {
+		st.rec.Record(trace.Event{Round: 0, Kind: trace.KindMove, To: -1,
+			Text: fmt.Sprintf("initial agents on %v, initial cured %v", placement, cfg.InitialCured)})
+	}
 
 	// Validity baseline and initial diameter over the initially correct.
-	var correct []float64
+	correct := sc.uValues[:0]
 	for i, s := range st.states {
 		if s == mobile.StateCorrect {
 			correct = append(correct, cfg.Inputs[i])
 		}
 	}
-	ms, err := multiset.FromValues(correct...)
+	ms, err := multiset.FromOwned(correct)
 	if err != nil {
 		return nil, err
 	}
@@ -109,18 +269,19 @@ func newRunState(cfg Config) (*runState, error) {
 // agents leave a corrupted value behind; arriving agents obliterate their
 // host's state.
 func (st *runState) move(round int) error {
-	view := viewFor(st.cfg, round, phasePlace, st.votes, st.states, st.master)
-	placement, err := mobile.ValidatePlacement(st.cfg.Adversary.Place(view), st.cfg.N, st.cfg.F)
+	placement, err := mobile.ValidatePlacement(st.cfg.Adversary.Place(st.borrowView(round, phasePlace)), st.cfg.N, st.cfg.F)
 	if err != nil {
 		return fmt.Errorf("core: round %d placement: %w", round, err)
 	}
-	newFaulty := make(map[int]bool, len(placement))
+	// The leave view is a snapshot: LeaveBehind consultations interleave
+	// with the vote/state writes below and must all see the pre-move state.
+	leaveView := st.snapshotView(round, phaseLeave)
+	st.faulty.advance()
 	for _, p := range placement {
-		newFaulty[p] = true
+		st.faulty.mark(p)
 	}
-	leaveView := viewFor(st.cfg, round, phaseLeave, st.votes, st.states, st.master)
 	for p := 0; p < st.cfg.N; p++ {
-		if st.faulty[p] && !newFaulty[p] {
+		if st.faulty.wasPrev(p) {
 			st.states[p] = mobile.StateCured
 			v := st.cfg.Adversary.LeaveBehind(leaveView, p)
 			if math.IsNaN(v) {
@@ -129,13 +290,14 @@ func (st *runState) move(round int) error {
 			st.votes[p] = v
 		}
 	}
-	for p := range newFaulty {
+	for _, p := range placement {
 		st.states[p] = mobile.StateFaulty
 		st.votes[p] = math.NaN()
 	}
-	st.faulty = newFaulty
-	st.rec.Record(trace.Event{Round: round, Kind: trace.KindMove, To: -1,
-		Text: fmt.Sprintf("agents on %v", placement)})
+	if st.rec.Enabled() {
+		st.rec.Record(trace.Event{Round: round, Kind: trace.KindMove, To: -1,
+			Text: fmt.Sprintf("agents on %v", placement)})
+	}
 	return nil
 }
 
@@ -144,28 +306,45 @@ func (st *runState) move(round int) error {
 // they are aware, their state is about to be recomputed from this round's
 // messages, and per Lemma 4 no process is cured during any send phase.
 func (st *runState) moveM4(round int) error {
-	view := viewFor(st.cfg, round+1, phasePlace, st.votes, st.states, st.master)
-	placement, err := mobile.ValidatePlacement(st.cfg.Adversary.Place(view), st.cfg.N, st.cfg.F)
+	placement, err := mobile.ValidatePlacement(st.cfg.Adversary.Place(st.borrowView(round+1, phasePlace)), st.cfg.N, st.cfg.F)
 	if err != nil {
 		return fmt.Errorf("core: round %d mid-round placement: %w", round, err)
 	}
-	newFaulty := make(map[int]bool, len(placement))
+	st.faulty.advance()
 	for _, p := range placement {
-		newFaulty[p] = true
+		st.faulty.mark(p)
 	}
 	for p := 0; p < st.cfg.N; p++ {
-		if st.faulty[p] && !newFaulty[p] {
+		if st.faulty.wasPrev(p) {
 			st.states[p] = mobile.StateCorrect
 		}
 	}
-	for p := range newFaulty {
+	for _, p := range placement {
 		st.states[p] = mobile.StateFaulty
 		st.votes[p] = math.NaN()
 	}
-	st.faulty = newFaulty
-	st.rec.Record(trace.Event{Round: round, Kind: trace.KindMove, To: -1,
-		Text: fmt.Sprintf("agents travel with messages to %v", placement)})
+	if st.rec.Enabled() {
+		st.rec.Record(trace.Event{Round: round, Kind: trace.KindMove, To: -1,
+			Text: fmt.Sprintf("agents travel with messages to %v", placement)})
+	}
 	return nil
+}
+
+// sendStatesForChecks returns the send-phase failure states when the
+// checkers or the OnRound callback need them, nil otherwise. The snapshot
+// matters under M4, whose mid-round movement mutates st.states before the
+// checks run. OnRound callbacks may retain the slice, so they get a fresh
+// copy; the checkers only read it, so they share scratch.
+func (st *runState) sendStatesForChecks() []mobile.State {
+	if st.report == nil && !st.snapshot {
+		return nil
+	}
+	if st.snapshot {
+		return append([]mobile.State(nil), st.states...)
+	}
+	out := st.sc.sendStates[:st.cfg.N]
+	copy(out, st.states)
+	return out
 }
 
 // runRound executes one full round: movement, send, receive, compute,
@@ -177,9 +356,9 @@ func (st *runState) runRound(round int) error {
 			return err
 		}
 	}
-	sendStates := append([]mobile.State(nil), st.states...)
+	sendStates := st.sendStatesForChecks()
 
-	plan, err := planSendPhase(cfg, round, st.votes, st.states, st.master)
+	plan, err := st.planSendPhase(round)
 	if err != nil {
 		return err
 	}
@@ -191,27 +370,35 @@ func (st *runState) runRound(round int) error {
 	}
 
 	// Receive + compute for every process not faulty during computation.
-	newVotes := make([]float64, cfg.N)
-	computeFaulty := st.faulty
+	tau := cfg.Tau()
 	for i := 0; i < cfg.N; i++ {
-		if computeFaulty[i] {
-			newVotes[i] = math.NaN()
+		if st.faulty.has(i) {
+			st.newVotes[i] = math.NaN()
 			continue
 		}
-		obsRow, err := row(plan.matrix, i, cfg.N)
+		obsRow, err := plan.matrix.Row(i)
 		if err != nil {
 			return err
 		}
-		v, err := computeVote(cfg.Algorithm, cfg.Tau(), obsRow, st.votes[i])
+		v, err := computeVote(cfg.Algorithm, tau, obsRow, st.votes[i], st.sc.values[:0])
 		if err != nil {
 			return fmt.Errorf("core: round %d process %d: %w", round, i, err)
 		}
-		newVotes[i] = v
+		st.newVotes[i] = v
 		st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: v})
 	}
 
+	st.finishRound(round, sendStates, plan)
+	return nil
+}
+
+// finishRound runs the checkers and the OnRound callback, installs the new
+// votes, refreshes cured states, and extends the diameter series. It is
+// shared by both engines.
+func (st *runState) finishRound(round int, sendStates []mobile.State, plan plannedRound) {
+	cfg := st.cfg
 	if st.report != nil {
-		st.report.checkRound(round, cfg, sendStates, computeFaulty, newVotes, plan.u)
+		st.report.checkRound(round, cfg, sendStates, st.faulty, st.newVotes, plan.u)
 	}
 	if cfg.OnRound != nil {
 		cfg.OnRound(RoundInfo{
@@ -219,13 +406,13 @@ func (st *runState) runRound(round int) error {
 			SendStates:    sendStates,
 			Matrix:        plan.matrix,
 			Expected:      plan.expected,
-			Votes:         append([]float64(nil), newVotes...),
-			ComputeFaulty: sortedKeys(computeFaulty),
+			Votes:         append([]float64(nil), st.newVotes...),
+			ComputeFaulty: st.faulty.members(),
 			U:             plan.u,
 		})
 	}
 
-	st.votes = newVotes
+	st.votes, st.newVotes = st.newVotes, st.votes
 	for i := range st.states {
 		if st.states[i] == mobile.StateCured {
 			// Lemma 5: the computation phase restored a correct value.
@@ -234,7 +421,6 @@ func (st *runState) runRound(round int) error {
 	}
 	st.diamSeries = append(st.diamSeries, st.currentDiameter())
 	st.rounds = round + 1
-	return nil
 }
 
 // currentDiameter returns the spread of non-faulty stored values.
@@ -242,7 +428,7 @@ func (st *runState) currentDiameter() float64 {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	found := false
 	for i, v := range st.votes {
-		if st.faulty[i] || math.IsNaN(v) {
+		if st.faulty.has(i) || math.IsNaN(v) {
 			continue
 		}
 		lo = math.Min(lo, v)
@@ -272,39 +458,26 @@ func (st *runState) halted(round int) bool {
 	return false
 }
 
-// result assembles the Result and runs the validity check.
+// result assembles the Result and runs the validity check. Every field is
+// copied out of scratch, so Results stay valid when the Runner is reused.
 func (st *runState) result() *Result {
 	res := &Result{
 		Rounds:              st.rounds,
 		Converged:           st.converged,
-		Votes:               st.votes,
+		Votes:               append([]float64(nil), st.votes...),
 		Decided:             make([]bool, st.cfg.N),
 		InitialCorrectRange: st.initialRange,
 		DiameterSeries:      st.diamSeries,
 		Check:               st.report,
 	}
 	for i := 0; i < st.cfg.N; i++ {
-		res.Decided[i] = !st.faulty[i]
+		res.Decided[i] = !st.faulty.has(i)
 		if res.Decided[i] {
-			st.rec.Record(trace.Event{Round: st.rounds, Kind: trace.KindDecide, From: i, To: -1, Value: st.votes[i]})
+			st.rec.Record(trace.Event{Round: st.rounds, Kind: trace.KindDecide, From: i, To: -1, Value: res.Votes[i]})
 		}
 	}
 	if st.report != nil {
-		st.report.checkValidity(st.rounds, st.votes, res.Decided, st.initialRange)
+		st.report.checkValidity(st.rounds, res.Votes, res.Decided, st.initialRange)
 	}
 	return res
-}
-
-// sortedKeys returns the map's keys in ascending order.
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

@@ -8,7 +8,6 @@ import (
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
 	"mbfaa/internal/multiset"
-	"mbfaa/internal/prng"
 )
 
 // Labels for deriving per-phase adversary random streams. Both engines
@@ -20,7 +19,10 @@ const (
 	phaseLeave
 )
 
-// RoundInfo is the post-round snapshot passed to Config.OnRound.
+// RoundInfo is the post-round snapshot passed to Config.OnRound. All of its
+// fields are owned by the callback and remain valid after the run — the
+// engine allocates them fresh whenever OnRound is set (experiments such as
+// Table 1 retain the matrix and classify it after the sweep completes).
 type RoundInfo struct {
 	// Round is the round index, starting at 0.
 	Round int
@@ -48,27 +50,80 @@ type RoundInfo struct {
 // observation matrix every receiver will see, and the classifier baseline.
 // Both engines consume the same plan; the concurrent engine additionally
 // verifies that the messages its goroutines actually exchanged reproduce
-// the plan exactly.
+// the plan exactly. Unless the run has an OnRound callback, the plan's
+// buffers live in the engine's scratch and are only valid until the next
+// round is planned.
 type plannedRound struct {
 	matrix   *mixedmode.Matrix
 	expected []float64
 	u        multiset.Multiset
 }
 
-// viewFor builds the adversary's omniscient snapshot with defensive copies.
-func viewFor(cfg Config, round int, phase uint64, votes []float64, states []mobile.State, master *prng.Source) *mobile.View {
-	v := &mobile.View{
+// fillView populates the scratch view in place. Assigning a fresh composite
+// literal also zeroes the view's internal range cache, so a recycled view
+// never leaks a cached CorrectRange across decision points. The Rng is
+// derived into a scratch Source — the identical stream Derive would
+// return, without the allocation.
+func (st *runState) fillView(round int, phase uint64, votes []float64, states []mobile.State) *mobile.View {
+	st.master.DeriveInto(&st.sc.rng, uint64(round), phase)
+	st.sc.view = mobile.View{
 		Round:  round,
-		Model:  cfg.Model,
-		N:      cfg.N,
-		F:      cfg.F,
-		Tau:    cfg.Tau(),
-		Algo:   cfg.Algorithm,
-		Votes:  append([]float64(nil), votes...),
-		States: append([]mobile.State(nil), states...),
-		Rng:    master.Derive(uint64(round), phase),
+		Model:  st.cfg.Model,
+		N:      st.cfg.N,
+		F:      st.cfg.F,
+		Tau:    st.cfg.Tau(),
+		Algo:   st.cfg.Algorithm,
+		Votes:  votes,
+		States: states,
+		Rng:    &st.sc.rng,
 	}
-	return v
+	return &st.sc.view
+}
+
+// borrowView builds the adversary's omniscient snapshot directly over the
+// engine's live vote/state buffers — zero copies. It is only used at
+// decision points where the engine does not mutate state until the
+// adversary call returns (placement, the send phase). Adversaries must not
+// mutate the view's slices (the Adversary contract) nor retain them across
+// calls; an adversary that does retain views declares it via
+// mobile.ViewRetainer and gets the defensive copies back.
+func (st *runState) borrowView(round int, phase uint64) *mobile.View {
+	if st.copyViews {
+		return st.freshView(round, phase)
+	}
+	return st.fillView(round, phase, st.votes, st.states)
+}
+
+// snapshotView builds the adversary view over a copy of the current votes
+// and states held in reusable scratch buffers — an O(n) copy but no
+// allocation. It is used when the engine mutates state while the view is
+// still being consulted (the movement phase interleaves LeaveBehind calls
+// with vote writes, and every consultation must see the pre-move state).
+func (st *runState) snapshotView(round int, phase uint64) *mobile.View {
+	if st.copyViews {
+		return st.freshView(round, phase)
+	}
+	votes := st.sc.viewVotes[:st.cfg.N]
+	states := st.sc.viewStates[:st.cfg.N]
+	copy(votes, st.votes)
+	copy(states, st.states)
+	return st.fillView(round, phase, votes, states)
+}
+
+// freshView is the pre-scratch behaviour: a newly allocated view over newly
+// allocated copies, safe to retain indefinitely.
+func (st *runState) freshView(round int, phase uint64) *mobile.View {
+	return &mobile.View{
+		Round:  round,
+		Model:  st.cfg.Model,
+		N:      st.cfg.N,
+		F:      st.cfg.F,
+		Tau:    st.cfg.Tau(),
+		Algo:   st.cfg.Algorithm,
+		Votes:  append([]float64(nil), st.votes...),
+		States: append([]mobile.State(nil), st.states...),
+		Rng:    st.master.Derive(uint64(round), phase),
+	}
 }
 
 // planSendPhase computes the observation matrix of one round. The adversary
@@ -85,26 +140,54 @@ func viewFor(cfg Config, round int, phase uint64, votes []float64, states []mobi
 //	cured, M3    per-receiver values from the agent-prepared queue
 //	cured, M4    cannot occur: agents move with messages, so no process
 //	             is cured during a send phase
-func planSendPhase(cfg Config, round int, votes []float64, states []mobile.State, master *prng.Source) (plannedRound, error) {
-	matrix, err := mixedmode.NewMatrix(cfg.N)
-	if err != nil {
-		return plannedRound{}, err
+//
+// On the hot path (no OnRound callback) the matrix lives in scratch, the
+// expected values are skipped entirely (only RoundInfo carries them), and U
+// is built — over scratch — only when the checkers will read it.
+func (st *runState) planSendPhase(round int) (plannedRound, error) {
+	cfg := st.cfg
+	votes, states := st.votes, st.states
+
+	// expected is only ever consumed through RoundInfo.Expected, so it is
+	// both allocated and filled only on the snapshot (OnRound) path.
+	var matrix *mixedmode.Matrix
+	var expected []float64
+	if st.snapshot {
+		m, err := mixedmode.NewMatrix(cfg.N)
+		if err != nil {
+			return plannedRound{}, err
+		}
+		matrix = m
+		expected = make([]float64, cfg.N)
+	} else {
+		matrix = st.sc.matrix
+		matrix.Reset()
 	}
-	expected := make([]float64, cfg.N)
+	needU := st.snapshot || st.report != nil
 	var uValues []float64
-	view := viewFor(cfg, round, phaseSend, votes, states, master)
+	if needU && !st.snapshot {
+		uValues = st.sc.uValues[:0]
+	}
+
+	view := st.borrowView(round, phaseSend)
 	for sender := 0; sender < cfg.N; sender++ {
 		switch states[sender] {
 		case mobile.StateCorrect:
-			expected[sender] = votes[sender]
-			uValues = append(uValues, votes[sender])
+			if st.snapshot {
+				expected[sender] = votes[sender]
+			}
+			if needU {
+				uValues = append(uValues, votes[sender])
+			}
 			for receiver := 0; receiver < cfg.N; receiver++ {
 				if err := matrix.Record(receiver, sender, mixedmode.Observation{Value: votes[sender]}); err != nil {
 					return plannedRound{}, err
 				}
 			}
 		case mobile.StateFaulty:
-			expected[sender] = math.NaN()
+			if st.snapshot {
+				expected[sender] = math.NaN()
+			}
 			for receiver := 0; receiver < cfg.N; receiver++ {
 				val, omit := cfg.Adversary.FaultyValue(view, sender, receiver)
 				if err := recordAdversarial(matrix, receiver, sender, val, omit); err != nil {
@@ -112,7 +195,9 @@ func planSendPhase(cfg Config, round int, votes []float64, states []mobile.State
 				}
 			}
 		case mobile.StateCured:
-			expected[sender] = math.NaN()
+			if st.snapshot {
+				expected[sender] = math.NaN()
+			}
 			switch cfg.Model {
 			case mobile.M1Garay:
 				// Aware and silent: every entry stays Omitted.
@@ -136,11 +221,15 @@ func planSendPhase(cfg Config, round int, votes []float64, states []mobile.State
 			return plannedRound{}, fmt.Errorf("core: process %d in invalid state %v", sender, states[sender])
 		}
 	}
-	u, err := multiset.FromValues(uValues...)
-	if err != nil {
-		return plannedRound{}, fmt.Errorf("core: building U: %w", err)
+	plan := plannedRound{matrix: matrix, expected: expected}
+	if needU {
+		u, err := multiset.FromOwned(uValues)
+		if err != nil {
+			return plannedRound{}, fmt.Errorf("core: building U: %w", err)
+		}
+		plan.u = u
 	}
-	return plannedRound{matrix: matrix, expected: expected, u: u}, nil
+	return plan, nil
 }
 
 // recordAdversarial stores an adversary-chosen observation, sanitising NaN
@@ -153,12 +242,14 @@ func recordAdversarial(m *mixedmode.Matrix, receiver, sender int, val float64, o
 }
 
 // computeVote applies the voting function to one receiver's observation
-// row. Trimming degrades gracefully when omissions leave fewer than 2τ+1
-// values: the process trims as much as it can while keeping one survivor
-// (τ_eff = min(τ, (m−1)/2)). Above the replica bound τ_eff always equals τ;
-// the degradation only matters in deliberately sub-bound runs.
-func computeVote(algo msr.Algorithm, tau int, row []mixedmode.Observation, previous float64) (float64, error) {
-	values := make([]float64, 0, len(row))
+// row, accumulating the non-omitted values in the provided scratch buffer
+// (passed with length 0; capacity must cover len(row), which the engines
+// guarantee). Trimming degrades gracefully when omissions leave fewer than
+// 2τ+1 values: the process trims as much as it can while keeping one
+// survivor (τ_eff = min(τ, (m−1)/2)). Above the replica bound τ_eff always
+// equals τ; the degradation only matters in deliberately sub-bound runs.
+func computeVote(algo msr.Algorithm, tau int, row []mixedmode.Observation, previous float64, scratch []float64) (float64, error) {
+	values := scratch
 	for _, o := range row {
 		if !o.Omitted {
 			values = append(values, o.Value)
@@ -174,17 +265,4 @@ func computeVote(algo msr.Algorithm, tau int, row []mixedmode.Observation, previ
 		return previous, nil
 	}
 	return msr.ApplyCapped(algo, values, tau)
-}
-
-// row extracts receiver i's observation row from the matrix.
-func row(m *mixedmode.Matrix, receiver, n int) ([]mixedmode.Observation, error) {
-	out := make([]mixedmode.Observation, n)
-	for s := 0; s < n; s++ {
-		o, err := m.At(receiver, s)
-		if err != nil {
-			return nil, err
-		}
-		out[s] = o
-	}
-	return out, nil
 }

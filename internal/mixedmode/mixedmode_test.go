@@ -237,3 +237,36 @@ func TestQuickBoundMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMatrixResetAndRow(t *testing.T) {
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record(1, 2, Observation{Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := m.Row(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 3 || row[2].Omitted || row[2].Value != 7 {
+		t.Fatalf("Row(1) = %v, want entry 2 = {7, false}", row)
+	}
+	if _, err := m.Row(3); err == nil {
+		t.Error("Row(3) out of range should fail")
+	}
+
+	m.Reset()
+	for r := 0; r < 3; r++ {
+		for s := 0; s < 3; s++ {
+			o, err := m.At(r, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !o.Omitted {
+				t.Fatalf("after Reset, (%d,%d) = %v, want Omitted", r, s, o)
+			}
+		}
+	}
+}

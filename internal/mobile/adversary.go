@@ -11,9 +11,10 @@ import (
 
 // View is the omniscient snapshot the engine hands the adversary at each
 // decision point. Mobile Byzantine agents are computationally unbounded and
-// see everything, so the adversary gets full state; it must NOT mutate any
-// slice it is given (the engine passes defensive copies to honour that even
-// against buggy adversaries).
+// see everything, so the adversary gets full state. The engine hands out
+// views backed by its own live or scratch buffers (zero-copy hot path), so
+// the Adversary contract below — never mutate, never retain — is
+// load-bearing, not just hygiene.
 type View struct {
 	// Round is the current round index, starting at 0.
 	Round int
@@ -73,7 +74,12 @@ func (v *View) CorrectRange() (lo, hi float64, ok bool) {
 // The engine invokes it at the points the model grants the adversary power:
 // agent placement, faulty sends, the state left behind on departure, and —
 // in M3 — the poisoned outgoing queue of a cured process. Implementations
-// must be deterministic given the View (including its Rng).
+// must be deterministic given the View (including its Rng), must NOT
+// mutate the View or its slices (they may be the engine's live state),
+// and must NOT retain them past the call that received them (the backing
+// buffers are recycled). An adversary that needs to retain views declares
+// it by implementing ViewRetainer, which restores defensively copied
+// snapshots at the cost of per-call allocations.
 type Adversary interface {
 	// Name is the identifier used by flags and reports.
 	Name() string
@@ -104,26 +110,40 @@ type Adversary interface {
 	QueueValue(v *View, cured, receiver int) (value float64, omit bool)
 }
 
+// ViewRetainer is the opt-in contract for adversaries that retain the View
+// or its slices beyond the call that received them. The engines normally
+// hand adversaries a reusable scratch view whose contents are only valid
+// for the duration of the call — zero allocations on the simulation hot
+// path. An adversary that stores views across calls must implement
+// ViewRetainer and return true; the engine then reverts to freshly
+// allocated defensive copies for every consultation. None of the built-in
+// adversaries retain views.
+type ViewRetainer interface {
+	// RetainsView reports whether the adversary keeps references to a
+	// View or its Votes/States slices after returning from a call.
+	RetainsView() bool
+}
+
 // ValidatePlacement checks an adversary's placement against the system
 // parameters: at most f distinct, in-range indices. It returns a cleaned
-// (sorted, deduplicated) copy.
+// (sorted, deduplicated) copy. Duplicates are detected on the sorted copy
+// rather than through a set, keeping the per-round cost to one allocation.
 func ValidatePlacement(placement []int, n, f int) ([]int, error) {
 	if len(placement) > f {
 		return nil, fmt.Errorf("mobile: adversary placed %d agents, only has %d", len(placement), f)
 	}
-	out := make([]int, 0, len(placement))
-	seen := make(map[int]bool, len(placement))
 	for _, p := range placement {
 		if p < 0 || p >= n {
 			return nil, fmt.Errorf("mobile: agent placement %d out of range [0,%d)", p, n)
 		}
-		if seen[p] {
-			return nil, fmt.Errorf("mobile: duplicate agent placement %d", p)
-		}
-		seen[p] = true
-		out = append(out, p)
 	}
+	out := append(make([]int, 0, len(placement)), placement...)
 	sort.Ints(out)
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			return nil, fmt.Errorf("mobile: duplicate agent placement %d", out[i])
+		}
+	}
 	return out, nil
 }
 

@@ -123,11 +123,14 @@ func (g *Greedy) simulate(v *View, rule valueRule) float64 {
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	any := false
+	// One receive buffer serves every simulated receiver: FromOwned wraps
+	// it without copying, and the multiset is dead before the next refill.
+	buf := make([]float64, 0, v.N)
 	for i, si := range v.States {
 		if si == StateFaulty {
 			continue
 		}
-		values := make([]float64, 0, v.N)
+		values := buf[:0]
 		for j, sj := range v.States {
 			switch sj {
 			case StateFaulty:
@@ -147,7 +150,7 @@ func (g *Greedy) simulate(v *View, rule valueRule) float64 {
 				values = append(values, v.Votes[j])
 			}
 		}
-		ms, err := multiset.FromValues(values...)
+		ms, err := multiset.FromOwned(values)
 		if err != nil {
 			continue
 		}

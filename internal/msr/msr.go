@@ -214,11 +214,17 @@ func (Median) Contraction(m, tau, asym int) (float64, bool) { return 0, false }
 // min(tau, (len−1)/2)). Above the replica bounds the cap never engages;
 // it only matters when omissions shrink a sub-bound multiset. It returns
 // an error for an empty value set.
+//
+// ApplyCapped takes ownership of values for the duration of the call and
+// sorts the slice in place (multiset.FromOwned) — the computation phase
+// runs once per process per round and must not allocate. Callers that need
+// the original order must copy first; every engine call site feeds a
+// scratch buffer that is rebuilt before its next use.
 func ApplyCapped(algo Algorithm, values []float64, tau int) (float64, error) {
 	if len(values) == 0 {
 		return 0, fmt.Errorf("msr: no values to vote on")
 	}
-	ms, err := multiset.FromValues(values...)
+	ms, err := multiset.FromOwned(values)
 	if err != nil {
 		return 0, err
 	}

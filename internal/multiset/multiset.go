@@ -44,6 +44,23 @@ func FromValues(values ...float64) (Multiset, error) {
 	return Multiset{values: vs}, nil
 }
 
+// FromOwned builds a Multiset that takes ownership of the given slice: the
+// slice is sorted in place and becomes the multiset's backing store, with no
+// copy. The caller must not read or mutate the slice afterwards — except to
+// overwrite and re-wrap it once the multiset itself is no longer in use,
+// which is exactly the scratch-reuse pattern of the simulation hot path
+// (one O(n) buffer recycled every round instead of an O(n) allocation).
+// Like FromValues it rejects NaN, before mutating anything.
+func FromOwned(values []float64) (Multiset, error) {
+	for _, v := range values {
+		if math.IsNaN(v) {
+			return Multiset{}, ErrNaN
+		}
+	}
+	sort.Float64s(values)
+	return Multiset{values: values}, nil
+}
+
 // MustFromValues is FromValues for statically known inputs, used by tests
 // and table literals. It panics on NaN, which is a programming error in
 // those contexts.

@@ -420,3 +420,50 @@ func TestQuickSelectSpansRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFromOwned(t *testing.T) {
+	backing := []float64{3, 1, 2}
+	m, err := FromOwned(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slice is sorted in place and becomes the backing store.
+	if backing[0] != 1 || backing[1] != 2 || backing[2] != 3 {
+		t.Errorf("FromOwned did not sort in place: %v", backing)
+	}
+	if !m.Equal(MustFromValues(1, 2, 3)) {
+		t.Errorf("FromOwned = %v, want {1, 2, 3}", m)
+	}
+
+	if _, err := FromOwned([]float64{1, math.NaN()}); err == nil {
+		t.Error("FromOwned should reject NaN")
+	}
+
+	empty, err := FromOwned(nil)
+	if err != nil || !empty.IsEmpty() {
+		t.Errorf("FromOwned(nil) = %v, %v; want empty multiset", empty, err)
+	}
+}
+
+func TestFromOwnedMatchesFromValues(t *testing.T) {
+	f := func(values []float64) bool {
+		clean := make([]float64, 0, len(values))
+		for _, v := range values {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		a, err := FromValues(clean...)
+		if err != nil {
+			return false
+		}
+		b, err := FromOwned(append([]float64(nil), clean...))
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

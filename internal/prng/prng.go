@@ -74,6 +74,16 @@ func (s *Source) Uint64() uint64 {
 // streams: both engines call Derive with the same labels and therefore see
 // the same sub-stream regardless of scheduling.
 func (s *Source) Derive(labels ...uint64) *Source {
+	var child Source
+	s.DeriveInto(&child, labels...)
+	return &child
+}
+
+// DeriveInto is Derive without the allocation: it overwrites dst with the
+// derived child state. The simulation engine reuses one scratch Source for
+// the adversary view's per-phase streams, which this makes free. The
+// derived stream is identical to Derive's for the same labels.
+func (s *Source) DeriveInto(dst *Source, labels ...uint64) {
 	// Hash the current state together with the labels through SplitMix64.
 	// The parent state is read but not advanced.
 	h := s.s0 ^ rotl(s.s1, 13) ^ rotl(s.s2, 29) ^ rotl(s.s3, 47)
@@ -81,9 +91,7 @@ func (s *Source) Derive(labels ...uint64) *Source {
 		h ^= l + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
 		h = splitmix64(&h)
 	}
-	var child Source
-	child.reseed(h)
-	return &child
+	dst.reseed(h)
 }
 
 // Split consumes one output from the parent and returns an independent

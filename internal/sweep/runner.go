@@ -126,20 +126,25 @@ func (o Options) workerCount(jobs int) int {
 // job and its index alone, and the results slice is indexed, not appended.
 // The first failing job (in job order, not completion order) determines the
 // returned error; on error all jobs still run to completion.
+// Each executor goroutine owns one core.Runner, so consecutive jobs on a
+// worker recycle the engine's scratch buffers instead of reallocating the
+// round state per run. Runner reuse cannot leak state between jobs: every
+// Result is copied out of scratch, which the core golden suite asserts.
 func RunJobs(jobs []Job, opt Options) ([]*core.Result, error) {
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	exec := func(i int) {
+	exec := func(r *core.Runner, i int) {
 		if jobs[i].Adversary == nil {
 			errs[i] = fmt.Errorf("nil adversary constructor")
 			return
 		}
-		results[i], errs[i] = core.Run(jobs[i].config(i, opt))
+		results[i], errs[i] = r.Run(jobs[i].config(i, opt))
 	}
 
 	if workers := opt.workerCount(len(jobs)); workers <= 1 {
+		r := core.NewRunner()
 		for i := range jobs {
-			exec(i)
+			exec(r, i)
 		}
 	} else {
 		next := make(chan int)
@@ -148,8 +153,9 @@ func RunJobs(jobs []Job, opt Options) ([]*core.Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				r := core.NewRunner()
 				for i := range next {
-					exec(i)
+					exec(r, i)
 				}
 			}()
 		}

@@ -59,6 +59,16 @@ type Recorder struct {
 // New returns an empty Recorder.
 func New() *Recorder { return &Recorder{} }
 
+// Enabled reports whether events are being collected. Instrumentation
+// points whose Event construction is itself expensive (fmt.Sprintf
+// annotations, slice formatting) must guard with Enabled so a disabled
+// trace costs nothing:
+//
+//	if rec.Enabled() {
+//		rec.Record(trace.Event{Text: fmt.Sprintf(...)})
+//	}
+func (r *Recorder) Enabled() bool { return r != nil }
+
 // Record appends an event. It is a no-op on a nil Recorder.
 func (r *Recorder) Record(e Event) {
 	if r == nil {

@@ -76,3 +76,13 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestEnabled(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Error("nil Recorder reports Enabled")
+	}
+	if !New().Enabled() {
+		t.Error("fresh Recorder reports disabled")
+	}
+}

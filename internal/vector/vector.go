@@ -172,6 +172,9 @@ func Run(cfg Config) (*Result, error) {
 		res.Decided[i] = true
 		res.Decisions[i] = make([]float64, cfg.Dim)
 	}
+	// One engine runner serves every coordinate instance, recycling the
+	// round-loop scratch state across axes.
+	runner := core.NewRunner()
 	for d := 0; d < cfg.Dim; d++ {
 		inputs := make([]float64, cfg.N)
 		for i := range inputs {
@@ -188,7 +191,7 @@ func Run(cfg Config) (*Result, error) {
 			FixedRounds: rounds,
 			Seed:        cfg.Seed + 1,
 		}
-		axis, err := core.Run(axisCfg)
+		axis, err := runner.Run(axisCfg)
 		if err != nil {
 			return nil, fmt.Errorf("vector: coordinate %d: %w", d, err)
 		}
