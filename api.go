@@ -1,8 +1,6 @@
 package mbfaa
 
 import (
-	"fmt"
-
 	"mbfaa/internal/core"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
@@ -47,105 +45,114 @@ var (
 // NewTrace returns an empty execution trace recorder for WithTrace.
 func NewTrace() *Recorder { return trace.New() }
 
-// Option configures a run.
-type Option func(*runSpec)
-
-type runSpec struct {
-	cfg        core.Config
-	concurrent bool
-	advName    string
-}
+// Option configures a Spec. Options apply in order with last-wins
+// semantics; NewSpec collects them over the library defaults.
+type Option func(*Spec)
 
 // WithModel selects the fault model. Default: M1.
-func WithModel(m Model) Option { return func(s *runSpec) { s.cfg.Model = m } }
+func WithModel(m Model) Option { return func(s *Spec) { s.Model = m } }
 
 // WithSystem sets the process count n and agent count f.
 func WithSystem(n, f int) Option {
-	return func(s *runSpec) { s.cfg.N, s.cfg.F = n, f }
+	return func(s *Spec) { s.N, s.F = n, f }
 }
 
 // WithInputs sets the initial values; their count fixes n unless WithSystem
 // overrides it.
 func WithInputs(values ...float64) Option {
-	return func(s *runSpec) {
-		s.cfg.Inputs = append([]float64(nil), values...)
-		if s.cfg.N == 0 {
-			s.cfg.N = len(values)
+	return func(s *Spec) {
+		s.Inputs = append([]float64(nil), values...)
+		if s.N == 0 {
+			s.N = len(values)
 		}
 	}
 }
 
 // WithEpsilon sets the agreement tolerance ε. Default: 1e-6.
-func WithEpsilon(eps float64) Option { return func(s *runSpec) { s.cfg.Epsilon = eps } }
+func WithEpsilon(eps float64) Option { return func(s *Spec) { s.Epsilon = eps } }
 
 // WithAlgorithm selects the MSR voting function. Default: FTM.
-func WithAlgorithm(a Algorithm) Option { return func(s *runSpec) { s.cfg.Algorithm = a } }
+func WithAlgorithm(a Algorithm) Option { return func(s *Spec) { s.Algorithm = a } }
 
 // WithAdversary installs a concrete adversary instance. Stateful
-// adversaries (splitter, greedy) must be fresh per run. Default: rotating.
-func WithAdversary(a Adversary) Option { return func(s *runSpec) { s.cfg.Adversary = a } }
-
-// WithAdversaryName installs a registered adversary by name
-// (crash, greedy, random, rotating, splitter, stationary).
-func WithAdversaryName(name string) Option {
-	return func(s *runSpec) { s.advName = name }
+// adversaries (splitter, greedy) must be fresh per run — RunBatch rejects
+// an instance shared across specs; use WithAdversaryFactory there.
+// Default: rotating.
+func WithAdversary(a Adversary) Option {
+	return func(s *Spec) {
+		s.Adversary = a
+		s.AdversaryFactory = nil
+		s.AdversaryName = ""
+	}
 }
 
-// WithSeed fixes the run's random streams. Default: 0.
-func WithSeed(seed uint64) Option { return func(s *runSpec) { s.cfg.Seed = seed } }
+// WithAdversaryFactory installs an adversary constructor: every run of the
+// spec calls it for a fresh instance, which makes stateful adversaries
+// safe in batches (it mirrors the internal sweep harness's per-job
+// constructor).
+func WithAdversaryFactory(factory func() Adversary) Option {
+	return func(s *Spec) {
+		s.AdversaryFactory = factory
+		s.Adversary = nil
+		s.AdversaryName = ""
+	}
+}
+
+// WithAdversaryName installs a registered adversary by name
+// (crash, greedy, random, rotating, splitter, stationary). Name selection
+// is batch-safe: every run constructs its own instance.
+func WithAdversaryName(name string) Option {
+	return func(s *Spec) {
+		s.AdversaryName = name
+		s.Adversary = nil
+		s.AdversaryFactory = nil
+	}
+}
+
+// WithSeed pins the run's random streams. In a batch a pinned seed is used
+// verbatim; specs without one derive theirs from (BatchOptions.Seed, spec
+// index) — see DeriveSeed. Default: 0 for single runs.
+func WithSeed(seed uint64) Option {
+	return func(s *Spec) { s.Seed, s.ExplicitSeed = seed, true }
+}
 
 // WithMaxRounds caps the execution. Default: core.DefaultMaxRounds.
-func WithMaxRounds(r int) Option { return func(s *runSpec) { s.cfg.MaxRounds = r } }
+func WithMaxRounds(r int) Option { return func(s *Spec) { s.MaxRounds = r } }
 
 // WithFixedRounds runs exactly r rounds instead of halting on diameter.
-func WithFixedRounds(r int) Option { return func(s *runSpec) { s.cfg.FixedRounds = r } }
+func WithFixedRounds(r int) Option { return func(s *Spec) { s.FixedRounds = r } }
 
 // WithCheckers enables the Definition 4 / Lemma 5 / Theorem 1 runtime
 // checkers; the report lands in Result.Check.
-func WithCheckers() Option { return func(s *runSpec) { s.cfg.EnableCheckers = true } }
+func WithCheckers() Option { return func(s *Spec) { s.Checkers = true } }
 
 // WithTrace attaches a structured event recorder.
-func WithTrace(rec *Recorder) Option { return func(s *runSpec) { s.cfg.Recorder = rec } }
+func WithTrace(rec *Recorder) Option { return func(s *Spec) { s.Trace = rec } }
 
 // WithInitialCured marks processes as cured at round 0 (the lower-bound
 // starting configurations).
 func WithInitialCured(ids ...int) Option {
-	return func(s *runSpec) { s.cfg.InitialCured = append([]int(nil), ids...) }
+	return func(s *Spec) { s.InitialCured = append([]int(nil), ids...) }
 }
 
 // WithConcurrentEngine runs the goroutine-per-process engine instead of the
 // deterministic one. Results are bit-identical; the concurrent engine
 // exercises real message passing.
-func WithConcurrentEngine() Option { return func(s *runSpec) { s.concurrent = true } }
+func WithConcurrentEngine() Option { return func(s *Spec) { s.Concurrent = true } }
+
+// WithLabel annotates the spec for batch error messages and progress
+// reporting.
+func WithLabel(label string) Option { return func(s *Spec) { s.Label = label } }
 
 // Run executes one approximate-agreement instance and returns its Result.
+// It is the legacy one-shot entry point, kept as a thin wrapper: it builds
+// the Spec the options describe and executes it on the package's default
+// Engine (so even one-shot callers recycle pooled runners) without a
+// cancellation context. New code that runs more than once, needs
+// cancellation, round streaming or batches should hold an Engine and use
+// Run/Stream/RunBatch on it with an explicit Spec.
 func Run(opts ...Option) (*Result, error) {
-	s := runSpec{
-		cfg: core.Config{
-			Model:   M1,
-			Epsilon: 1e-6,
-		},
-	}
-	for _, opt := range opts {
-		opt(&s)
-	}
-	if s.cfg.Algorithm == nil {
-		s.cfg.Algorithm = FTM
-	}
-	if s.advName != "" {
-		adv, err := mobile.ByAdversaryName(s.advName)
-		if err != nil {
-			return nil, err
-		}
-		s.cfg.Adversary = adv
-	}
-	if s.cfg.Adversary == nil {
-		s.cfg.Adversary = mobile.NewRotating()
-	}
-	if s.concurrent {
-		return core.RunConcurrent(s.cfg)
-	}
-	return core.Run(s.cfg)
+	return defaultEngine.Run(nil, NewSpec(opts...))
 }
 
 // RequiredN returns the minimal number of processes solving Approximate
@@ -160,20 +167,26 @@ func MaxFaulty(m Model, n int) int { return m.MaxFaulty(n) }
 // AlgorithmByName resolves "fta", "ftm", "dolev" or "median".
 func AlgorithmByName(name string) (Algorithm, error) { return msr.ByName(name) }
 
-// AdversaryByName resolves a registered adversary name.
+// AdversaryByName resolves a registered adversary name to a fresh instance.
 func AdversaryByName(name string) (Adversary, error) { return mobile.ByAdversaryName(name) }
+
+// AdversaryFactoryByName resolves a registered adversary name to a
+// constructor, the batch-safe form: every call yields a fresh instance.
+func AdversaryFactoryByName(name string) (func() Adversary, error) {
+	return mobile.AdversaryFactoryByName(name)
+}
 
 // Models returns the four models in paper order.
 func Models() []Model { return mobile.AllModels() }
 
-// CheckSystem validates an (n, f, model) combination and explains the
-// bound when it fails.
+// CheckSystem validates an (n, f, model) combination. It returns nil when
+// n exceeds the model's bound, and a *BoundError (wrapping ErrBelowBound)
+// explaining the bound when it does not.
 func CheckSystem(m Model, n, f int) error {
 	if n > m.Bound(f) {
 		return nil
 	}
-	return fmt.Errorf("mbfaa: n=%d does not exceed the %v bound %df=%d (need n ≥ %d)",
-		n, m, m.Bound(1), m.Bound(f), m.RequiredN(f))
+	return &BoundError{Model: m, N: n, F: f}
 }
 
 // WorstCase returns the paper's worst-case setup for an (n, f, model)
@@ -189,4 +202,21 @@ func WorstCase(m Model, n, f int, lo, hi float64) (Adversary, []float64, []int, 
 		return nil, nil, nil, err
 	}
 	return mobile.NewSplitter(), layout.Inputs(n), layout.InitialCured(m, f), nil
+}
+
+// WorstCaseSpec assembles the full worst-case Spec in one call: WorstCase's
+// adversary (as a factory, so the spec is batch-safe), inputs and initial
+// cured set, on the given model and system size.
+func WorstCaseSpec(m Model, n, f int, lo, hi float64) (Spec, error) {
+	layout, err := mobile.SplitterLayout(m, n, f, lo, hi)
+	if err != nil {
+		return Spec{}, err
+	}
+	return NewSpec(
+		WithModel(m),
+		WithSystem(n, f),
+		WithInputs(layout.Inputs(n)...),
+		WithInitialCured(layout.InitialCured(m, f)...),
+		WithAdversaryFactory(func() Adversary { return mobile.NewSplitter() }),
+	), nil
 }

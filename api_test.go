@@ -1,6 +1,7 @@
 package mbfaa_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -227,5 +228,60 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		mbfaa.WithEpsilon(0.1),
 	); err == nil {
 		t.Error("bogus adversary name accepted")
+	}
+}
+
+func TestRunWithAdversaryFactory(t *testing.T) {
+	factory, err := mbfaa.AdversaryFactoryByName("splitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, inputs, cured, err := mbfaa.WorstCase(mbfaa.M1, 8, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = adv // the factory replaces the shared instance
+	mk := func() (*mbfaa.Result, error) {
+		return mbfaa.Run(
+			mbfaa.WithModel(mbfaa.M1),
+			mbfaa.WithSystem(8, 2),
+			mbfaa.WithInputs(inputs...),
+			mbfaa.WithInitialCured(cured...),
+			mbfaa.WithAdversaryFactory(factory),
+			mbfaa.WithAlgorithm(mbfaa.FTA),
+			mbfaa.WithEpsilon(1e-3),
+			mbfaa.WithFixedRounds(50),
+		)
+	}
+	// Two consecutive runs of the same spec must agree: the factory hands
+	// each a fresh splitter, so no state leaks between them.
+	first, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Converged || second.Converged {
+		t.Error("splitter at the bound should freeze the diameter")
+	}
+	if first.FinalDiameter() != second.FinalDiameter() {
+		t.Errorf("factory runs disagree: %v vs %v — stale adversary state leaked",
+			first.FinalDiameter(), second.FinalDiameter())
+	}
+}
+
+func TestCheckSystemTypedError(t *testing.T) {
+	err := mbfaa.CheckSystem(mbfaa.M1, 8, 2)
+	if !errors.Is(err, mbfaa.ErrBelowBound) {
+		t.Fatalf("err = %v, want ErrBelowBound", err)
+	}
+	var be *mbfaa.BoundError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %T is not *BoundError", err)
+	}
+	if be.N != 8 || be.F != 2 || be.Model != mbfaa.M1 {
+		t.Errorf("BoundError = %+v, want n=8 f=2 M1", be)
 	}
 }

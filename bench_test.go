@@ -7,6 +7,7 @@
 package mbfaa_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -443,5 +444,64 @@ func sizeName(n int) string {
 		return "n=256"
 	default:
 		return "n=1024"
+	}
+}
+
+// BenchmarkEngineRunPooled measures the public Engine on repeated runs of
+// one spec: the pooled runner must keep the round loop at the core
+// Runner's allocation budget (compare with the core alloc guards and
+// BenchmarkSweepParallel).
+func BenchmarkEngineRunPooled(b *testing.B) {
+	spec, err := mbfaa.WorstCaseSpec(mbfaa.M2, 12, 2, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Algorithm = mbfaa.FTA
+	spec.Epsilon = 1e-3
+	spec.FixedRounds = 50
+	eng := mbfaa.NewEngine()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRunBatch measures the public batch layer end to end: a
+// 48-spec grid (4 models × 3 adversaries × 4 seeds) on the default worker
+// pool.
+func BenchmarkEngineRunBatch(b *testing.B) {
+	var specs []mbfaa.Spec
+	for _, model := range mobile.AllModels() {
+		n := model.RequiredN(2) + 1
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = float64(i) / float64(n)
+		}
+		for _, adv := range []string{"rotating", "random", "crash"} {
+			for seed := uint64(1); seed <= 4; seed++ {
+				specs = append(specs, mbfaa.NewSpec(
+					mbfaa.WithModel(model),
+					mbfaa.WithSystem(n, 2),
+					mbfaa.WithInputs(inputs...),
+					mbfaa.WithEpsilon(1e-3),
+					mbfaa.WithAdversaryName(adv),
+					mbfaa.WithSeed(seed),
+					mbfaa.WithFixedRounds(30),
+				))
+			}
+		}
+	}
+	eng := mbfaa.NewEngine()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunBatch(ctx, specs, mbfaa.BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -12,9 +12,9 @@ import (
 	"log"
 	"os"
 
+	"mbfaa"
 	"mbfaa/internal/lowerbound"
 	"mbfaa/internal/mobile"
-	"mbfaa/internal/msr"
 )
 
 func main() {
@@ -27,7 +27,7 @@ func main() {
 	)
 	flag.Parse()
 
-	algo, err := msr.ByName(*algoName)
+	algo, err := mbfaa.AlgorithmByName(*algoName)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"mbfaa"
@@ -55,6 +58,8 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The spec is built with the public options; ^C cancels the run at its
+	// next round boundary through the engine's context plumbing.
 	opts := []mbfaa.Option{
 		mbfaa.WithModel(model),
 		mbfaa.WithSystem(*n, *f),
@@ -98,9 +103,18 @@ func main() {
 			mbfaa.WithInputs(inputs...),
 		)
 	}
+	spec := mbfaa.NewSpec(opts...)
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	res, err := mbfaa.Run(opts...)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := mbfaa.NewEngine().Run(ctx, spec)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 

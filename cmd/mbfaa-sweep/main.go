@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -56,13 +60,22 @@ func main() {
 		log.Fatalf("unknown format %q (have table, csv)", *format)
 	}
 
+	// ^C cancels the whole grid: in-flight runs abort at their next round
+	// boundary, queued jobs are skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opt := sweep.DefaultOptions()
 	opt.Epsilon = *eps
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.Ctx = ctx
 
 	res, err := sweep.Table2(fs, algo, opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	res.Cells = filterCells(res.Cells, models, *width)

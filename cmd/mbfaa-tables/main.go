@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"slices"
 	"strings"
 
@@ -39,9 +41,16 @@ func main() {
 		log.Fatalf("unknown artifact %q (have %s)", *only, strings.Join(artifacts, ", "))
 	}
 
+	// ^C cancels the artifact regeneration mid-grid: in-flight runs abort
+	// at their next round boundary and the generators report the
+	// cancellation as their error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opt := sweep.DefaultOptions()
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.Ctx = ctx
 	ok := true
 
 	want := func(name string) bool { return *only == "" || *only == name }

@@ -6,27 +6,60 @@
 // runtime checkers for its correctness theorems, executable versions of its
 // lower-bound constructions, and a full experiment harness.
 //
-// The package is a facade over the internal engine. A minimal run:
+// # The three API layers
 //
-//	res, err := mbfaa.Run(
+// The facade is organized around Spec, Engine and batches:
+//
+//   - A Spec is the serializable description of one execution: model,
+//     system size, inputs, tolerance, algorithm and adversary (by name, by
+//     instance, or by factory), seed, round limits. Functional Options
+//     build one (NewSpec), Spec.Validate reports failures eagerly as typed
+//     *ConfigError values wrapping ErrSpec.
+//
+//   - An Engine executes Specs over a pool of recycled runners.
+//     Engine.Run(ctx, spec) is the one-shot form; Engine.Stream(ctx, spec)
+//     yields every round's RoundInfo as it completes. Both honour context
+//     cancellation at round boundaries: cancelling stops the run within
+//     one round with an error satisfying errors.Is(err, context.Canceled).
+//
+//   - Engine.RunBatch(ctx, specs, opts) executes whole experiment grids on
+//     a bounded worker pool, returning results in spec order and streaming
+//     per-run completion events through BatchOptions.Progress (or
+//     Engine.StreamBatch). Batches are bit-identical for any worker count:
+//     specs without a pinned seed derive theirs from (BatchOptions.Seed,
+//     spec index) alone — see DeriveSeed. Stateful adversary instances
+//     shared across specs are rejected with a typed *SharedInstanceError;
+//     use WithAdversaryFactory instead.
+//
+// A minimal run:
+//
+//	spec := mbfaa.NewSpec(
 //		mbfaa.WithModel(mbfaa.M2),
 //		mbfaa.WithSystem(11, 2), // n = 11 > 5f = 10
 //		mbfaa.WithInputs(20.1, 20.4, 19.9, 20.0, 20.2, 20.3, 19.8, 20.1, 20.0, 20.2, 19.9),
 //		mbfaa.WithEpsilon(0.05),
 //	)
+//	res, err := mbfaa.NewEngine().Run(ctx, spec)
+//
+// The legacy one-shot Run(opts...) remains as a thin wrapper over the
+// default Engine without a cancellation context; existing callers need not
+// change.
 //
 // Every non-faulty process decides a value; decisions are within ε of each
 // other (ε-Agreement) and inside the range of correct inputs (Validity),
 // provided n exceeds the model's bound: 4f (M1/Garay), 5f (M2/Bonnet),
 // 6f (M3/Sasaki), 3f (M4/Buhrman).
 //
-// Determinism guarantee: a run is identified by its configuration and seed,
-// and replays bit-identically — across the deterministic and concurrent
-// engines, across worker counts in the sweep harness, and across the
-// engine's scratch-reusing Runner (the hot path performs O(1) allocations
-// per round). The golden-determinism suite in internal/core pins recorded
-// output digests for a matrix of models, algorithms, adversaries and seeds,
-// so no optimization can silently change protocol semantics.
+// # Determinism guarantee
+//
+// A run is identified by its Spec and seed, and replays bit-identically —
+// across the deterministic and concurrent engines, across pooled and fresh
+// runners, across Run and Stream, and across worker counts in RunBatch
+// (the hot path performs O(1) allocations per round). The golden-
+// determinism suite (internal/golden) pins recorded output digests for a
+// matrix of models, algorithms, adversaries and seeds, and every public
+// entry point is asserted against it, so no optimization or API layer can
+// silently change protocol semantics.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record, and the examples/ directory for runnable

@@ -1,6 +1,7 @@
 package mbfaa_test
 
 import (
+	"context"
 	"fmt"
 
 	"mbfaa"
@@ -97,4 +98,85 @@ func ExampleRun_checkers() {
 		res.Check.Ok(), res.Check.Lemma5Holds(), len(res.Check.Violations))
 	// Output:
 	// invariants-ok=true lemma5=true violations=0
+}
+
+// The Spec/Engine form of the basic flow: options build a Spec, a pooled
+// Engine runs it under a cancellable context.
+func ExampleEngine_Run() {
+	spec := mbfaa.NewSpec(
+		mbfaa.WithModel(mbfaa.M4),
+		mbfaa.WithSystem(7, 2), // n = 7 > 3f = 6
+		mbfaa.WithInputs(1.0, 1.2, 0.8, 1.1, 0.9, 1.05, 0.95),
+		mbfaa.WithEpsilon(0.01),
+		mbfaa.WithAlgorithm(mbfaa.FTM),
+		mbfaa.WithSeed(1),
+	)
+	res, err := mbfaa.NewEngine().Run(context.Background(), spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged=%v within-eps=%v valid=%v\n",
+		res.Converged, res.EpsilonAgreement(0.01), res.Valid())
+	// Output:
+	// converged=true within-eps=true valid=true
+}
+
+// Stream yields every round's snapshot as it completes; the final Result
+// sits behind the iterator.
+func ExampleEngine_Stream() {
+	spec := mbfaa.NewSpec(
+		mbfaa.WithModel(mbfaa.M4),
+		mbfaa.WithSystem(7, 2),
+		mbfaa.WithInputs(1.0, 1.2, 0.8, 1.1, 0.9, 1.05, 0.95),
+		mbfaa.WithEpsilon(0.01),
+		mbfaa.WithSeed(1),
+	)
+	s := mbfaa.NewEngine().Stream(context.Background(), spec)
+	for ri, ok := s.Next(); ok; ri, ok = s.Next() {
+		fmt.Printf("round %d: %d compute-faulty\n", ri.Round, len(ri.ComputeFaulty))
+	}
+	res, err := s.Result()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("converged=%v\n", res.Converged)
+	// Output:
+	// round 0: 2 compute-faulty
+	// round 1: 2 compute-faulty
+	// converged=true
+}
+
+// RunBatch executes a grid on a worker pool; results come back in spec
+// order and are bit-identical for any worker count.
+func ExampleEngine_RunBatch() {
+	var specs []mbfaa.Spec
+	for _, model := range mbfaa.Models() {
+		n := mbfaa.RequiredN(model, 1)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = float64(i) / float64(n)
+		}
+		specs = append(specs, mbfaa.NewSpec(
+			mbfaa.WithModel(model),
+			mbfaa.WithSystem(n, 1),
+			mbfaa.WithInputs(inputs...),
+			mbfaa.WithEpsilon(1e-3),
+			mbfaa.WithFixedRounds(8),
+		))
+	}
+	results, err := mbfaa.NewEngine().RunBatch(context.Background(), specs, mbfaa.BatchOptions{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, res := range results {
+		fmt.Printf("%s: rounds=%d converged=%v\n", specs[i].Model.Short(), res.Rounds, res.Converged)
+	}
+	// Output:
+	// M1: rounds=8 converged=true
+	// M2: rounds=8 converged=true
+	// M3: rounds=8 converged=false
+	// M4: rounds=8 converged=true
 }

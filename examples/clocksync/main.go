@@ -5,8 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"mbfaa"
 	"mbfaa/internal/clocksync"
@@ -14,6 +17,11 @@ import (
 )
 
 func main() {
+	// ^C cancels the experiment: the in-flight agreement epoch aborts at
+	// its next round boundary via the engine's context plumbing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := clocksync.Config{
 		N:            13, // > 4f under M1 with room to spare
 		F:            3,
@@ -26,6 +34,7 @@ func main() {
 		EpochSeconds: 10,
 		Epochs:       8,
 		Seed:         2025,
+		Ctx:          ctx,
 	}
 	rep, err := clocksync.Run(cfg)
 	if err != nil {

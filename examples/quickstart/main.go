@@ -1,11 +1,17 @@
 // Command quickstart is the smallest possible use of the library: eleven
 // processes with nearby sensor readings reach ε-agreement under the Bonnet
 // et al. mobile fault model (M2) with two Byzantine agents in flight.
+//
+// It uses the Spec/Engine API: options build a Spec, an Engine runs it on a
+// pooled runner, and the context makes the run cancellable (^C).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"mbfaa"
 )
@@ -19,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := mbfaa.Run(
+	spec := mbfaa.NewSpec(
 		mbfaa.WithModel(mbfaa.M2),
 		mbfaa.WithSystem(n, f),
 		mbfaa.WithInputs(20.1, 20.4, 19.9, 20.0, 20.2, 20.3, 19.8, 20.1, 20.0, 20.2, 19.9),
@@ -28,6 +34,10 @@ func main() {
 		mbfaa.WithAdversaryName("rotating"),
 		mbfaa.WithSeed(1),
 	)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := mbfaa.NewEngine().Run(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

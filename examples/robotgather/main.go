@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	"mbfaa"
 	"mbfaa/internal/mobile"
@@ -16,6 +19,11 @@ import (
 )
 
 func main() {
+	// ^C cancels the gathering: the in-flight coordinate instance aborts
+	// at its next round boundary via the engine's context plumbing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := robots.Config{
 		N:            10, // > 3f under M4
 		F:            3,
@@ -26,6 +34,7 @@ func main() {
 		Epsilon:      0.05,
 		Arena:        100,
 		Seed:         11,
+		Ctx:          ctx,
 	}
 	rep, err := robots.Gather(cfg)
 	if err != nil {

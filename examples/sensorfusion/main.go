@@ -4,11 +4,13 @@
 // field corrupting different sensors each round.
 //
 // The demo runs the same fusion under all four mobility models at each
-// model's minimal safe size, printing the rounds and agreed band, and then
-// shows what goes wrong one sensor below the bound.
+// model's minimal safe size — submitted together as one Engine.RunBatch,
+// with progress streamed as runs complete — and then shows what goes wrong
+// one sensor below the bound.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,15 +26,20 @@ func main() {
 		noiseBand = 0.3
 	)
 	rng := prng.New(7)
+	eng := mbfaa.NewEngine()
+	ctx := context.Background()
 
-	fmt.Println("sensor fusion under mobile Byzantine perturbations (f=2, ε=0.01°C)")
-	for _, model := range mbfaa.Models() {
+	// One spec per model; every spec pins its seed, so the batch is
+	// bit-identical to running them one at a time.
+	models := mbfaa.Models()
+	specs := make([]mbfaa.Spec, 0, len(models))
+	for _, model := range models {
 		n := mbfaa.RequiredN(model, f)
 		inputs := make([]float64, n)
 		for i := range inputs {
 			inputs[i] = trueTemp + rng.Range(-noiseBand, noiseBand)
 		}
-		res, err := mbfaa.Run(
+		specs = append(specs, mbfaa.NewSpec(
 			mbfaa.WithModel(model),
 			mbfaa.WithSystem(n, f),
 			mbfaa.WithInputs(inputs...),
@@ -41,10 +48,29 @@ func main() {
 			mbfaa.WithAdversaryName("rotating"),
 			mbfaa.WithSeed(99),
 			mbfaa.WithCheckers(),
-		)
-		if err != nil {
-			log.Fatal(err)
+			mbfaa.WithLabel(model.String()),
+		))
+	}
+
+	// One batch delivers both forms: per-run progress on the channel as
+	// runs complete, the full result slice (in spec order) on return.
+	fmt.Println("sensor fusion under mobile Byzantine perturbations (f=2, ε=0.01°C)")
+	progress := make(chan mbfaa.BatchProgress, len(specs))
+	reported := make(chan struct{})
+	go func() {
+		defer close(reported)
+		for ev := range progress {
+			fmt.Printf("  [%d/%d] %s fused\n", ev.Done, ev.Total, specs[ev.Index].Label)
 		}
+	}()
+	results, err := eng.RunBatch(ctx, specs, mbfaa.BatchOptions{Progress: progress})
+	close(progress)
+	<-reported
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, model := range models {
+		res := results[i]
 		ids, values := res.Decisions()
 		lo, hi := values[0], values[0]
 		for _, v := range values[1:] {
@@ -56,7 +82,7 @@ func main() {
 			}
 		}
 		fmt.Printf("  %-22s n=%-3d rounds=%-3d fused=[%.4f, %.4f]°C  sensors=%d  invariants=%v\n",
-			model, n, res.Rounds, lo, hi, len(ids), res.Check.Ok())
+			model, specs[i].N, res.Rounds, lo, hi, len(ids), res.Check.Ok())
 	}
 
 	// One sensor short of the bound: the worst-case adversary holds two
@@ -64,21 +90,15 @@ func main() {
 	// configuration (camped readings plus a cured cohort).
 	fmt.Println("\nsame fusion at n = 5f (one sensor short) under M2, worst-case adversary:")
 	n := mbfaa.RequiredN(mbfaa.M2, f) - 1
-	adv, inputs, cured, err := mbfaa.WorstCase(mbfaa.M2, n, f, trueTemp-noiseBand, trueTemp+noiseBand)
+	spec, err := mbfaa.WorstCaseSpec(mbfaa.M2, n, f, trueTemp-noiseBand, trueTemp+noiseBand)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mbfaa.Run(
-		mbfaa.WithModel(mbfaa.M2),
-		mbfaa.WithSystem(n, f),
-		mbfaa.WithInputs(inputs...),
-		mbfaa.WithInitialCured(cured...),
-		mbfaa.WithEpsilon(epsilon),
-		mbfaa.WithAlgorithm(mbfaa.FTA),
-		mbfaa.WithAdversary(adv),
-		mbfaa.WithFixedRounds(100),
-		mbfaa.WithSeed(99),
-	)
+	spec.Epsilon = epsilon
+	spec.Algorithm = mbfaa.FTA
+	spec.FixedRounds = 100
+	spec.Seed, spec.ExplicitSeed = 99, true
+	res, err := eng.Run(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

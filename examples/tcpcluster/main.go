@@ -23,6 +23,11 @@ func main() {
 		f       = 3
 		epsilon = 0.01
 	)
+	// Guard the deployment size with the typed bound check before opening
+	// any socket; a *BoundError would spell out the required n.
+	if err := mbfaa.CheckSystem(mbfaa.M1, n, f); err != nil {
+		log.Fatal(err)
+	}
 	key := []byte("mbfaa-demo-shared-key")
 
 	nodes, err := transport.NewTCPMesh(n, key)

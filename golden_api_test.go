@@ -1,0 +1,136 @@
+package mbfaa_test
+
+import (
+	"testing"
+
+	"mbfaa"
+	"mbfaa/internal/core"
+	"mbfaa/internal/golden"
+)
+
+// The facade golden-equivalence suite: Engine.Run, Engine.Stream,
+// Engine.RunBatch and the legacy Run must all reproduce the pinned PR 2
+// golden digests bit-for-bit. The case matrix and digests are shared with
+// internal/core's suite via internal/golden; a fresh matrix is built per
+// pass because the stateful adversaries must be fresh per run.
+
+// goldenSpec translates a pinned core configuration into the public Spec,
+// pinning its seed so batch derivation does not replace it.
+func goldenSpec(cfg core.Config) mbfaa.Spec {
+	return mbfaa.Spec{
+		Model:        cfg.Model,
+		N:            cfg.N,
+		F:            cfg.F,
+		Algorithm:    cfg.Algorithm,
+		Adversary:    cfg.Adversary,
+		Inputs:       cfg.Inputs,
+		Epsilon:      cfg.Epsilon,
+		MaxRounds:    cfg.MaxRounds,
+		FixedRounds:  cfg.FixedRounds,
+		Seed:         cfg.Seed,
+		ExplicitSeed: true,
+		InitialCured: cfg.InitialCured,
+	}
+}
+
+func goldenCases(t *testing.T) []golden.Case {
+	t.Helper()
+	cases, err := golden.Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden.Digests) == 0 {
+		t.Fatal("golden digest table is empty")
+	}
+	return cases
+}
+
+func TestGoldenEngineRun(t *testing.T) {
+	eng := mbfaa.NewEngine()
+	for _, gc := range goldenCases(t) {
+		res, err := eng.Run(nil, goldenSpec(gc.Cfg))
+		if err != nil {
+			t.Fatalf("%s: %v", gc.Key, err)
+		}
+		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+			t.Errorf("%s: Engine.Run digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
+		}
+	}
+}
+
+func TestGoldenLegacyRun(t *testing.T) {
+	for _, gc := range goldenCases(t) {
+		cfg := gc.Cfg
+		opts := []mbfaa.Option{
+			mbfaa.WithModel(cfg.Model),
+			mbfaa.WithSystem(cfg.N, cfg.F),
+			mbfaa.WithInputs(cfg.Inputs...),
+			mbfaa.WithEpsilon(cfg.Epsilon),
+			mbfaa.WithAlgorithm(cfg.Algorithm),
+			mbfaa.WithAdversary(cfg.Adversary),
+			mbfaa.WithSeed(cfg.Seed),
+			mbfaa.WithMaxRounds(cfg.MaxRounds),
+			mbfaa.WithFixedRounds(cfg.FixedRounds),
+			mbfaa.WithInitialCured(cfg.InitialCured...),
+		}
+		res, err := mbfaa.Run(opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.Key, err)
+		}
+		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+			t.Errorf("%s: legacy Run digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
+		}
+	}
+}
+
+func TestGoldenEngineStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming golden sweep allocates per-round snapshots; skipped under -short")
+	}
+	eng := mbfaa.NewEngine()
+	for _, gc := range goldenCases(t) {
+		s := eng.Stream(nil, goldenSpec(gc.Cfg))
+		rounds := 0
+		for ri, ok := s.Next(); ok; ri, ok = s.Next() {
+			if ri.Round != rounds {
+				t.Fatalf("%s: streamed round %d out of order (want %d)", gc.Key, ri.Round, rounds)
+			}
+			rounds++
+		}
+		res, err := s.Result()
+		if err != nil {
+			t.Fatalf("%s: %v", gc.Key, err)
+		}
+		if rounds != res.Rounds {
+			t.Errorf("%s: streamed %d rounds, result says %d", gc.Key, rounds, res.Rounds)
+		}
+		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+			t.Errorf("%s: Engine.Stream digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
+		}
+	}
+}
+
+// TestGoldenRunBatch asserts the public batch layer reproduces the pinned
+// digests for any worker count: the whole matrix is submitted as one batch
+// and every per-spec result must equal its recorded digest.
+func TestGoldenRunBatch(t *testing.T) {
+	for _, workers := range []int{1, 7} {
+		cases := goldenCases(t)
+		specs := make([]mbfaa.Spec, len(cases))
+		for i, gc := range cases {
+			specs[i] = goldenSpec(gc.Cfg)
+			specs[i].Label = gc.Key
+		}
+		eng := mbfaa.NewEngine()
+		results, err := eng.RunBatch(nil, specs, mbfaa.BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, gc := range cases {
+			if d := golden.Digest(results[i]); d != golden.Digests[gc.Key] {
+				t.Errorf("workers=%d %s: RunBatch digest 0x%016x, pinned 0x%016x",
+					workers, gc.Key, d, golden.Digests[gc.Key])
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package clocksync
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,6 +57,10 @@ type Config struct {
 	Epochs       int
 	// Seed drives clock generation and the adversary.
 	Seed uint64
+	// Ctx, when non-nil, makes the experiment cancellable: the in-flight
+	// agreement instance aborts at its next round boundary and no further
+	// epoch starts. Nil means not cancellable.
+	Ctx context.Context
 }
 
 // Validate checks the configuration.
@@ -146,6 +151,7 @@ func Run(cfg Config) (*Report, error) {
 			Inputs:    readings,
 			Epsilon:   cfg.Epsilon,
 			Seed:      cfg.Seed + uint64(epoch) + 1,
+			Ctx:       cfg.Ctx,
 		}
 		res, err := runner.Run(agreeCfg)
 		if err != nil {

@@ -39,6 +39,14 @@ func (r *Runner) RunConcurrent(cfg Config) (*Result, error) {
 	defer c.shutdown()
 
 	for round := 0; round < cfg.MaxRounds; round++ {
+		// The cancellation probe runs only at round boundaries, where every
+		// worker goroutine is quiescent (blocked on its directive channel):
+		// aborting here lets shutdown close the directive channels without
+		// stranding a worker mid-round waiting for messages that will never
+		// be sent.
+		if err := checkCtx(cfg.Ctx, round); err != nil {
+			return nil, err
+		}
 		if err := st.runRoundConcurrent(c, round); err != nil {
 			return nil, err
 		}

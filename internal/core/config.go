@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -78,6 +79,15 @@ type Config struct {
 	// phase with a full snapshot (observation matrix included). It is the
 	// hook the Table 1 experiment uses to classify behaviour.
 	OnRound func(RoundInfo)
+	// Ctx, when non-nil, makes the run cancellable: both engines check it
+	// once per round boundary and abort with the context's error (wrapping
+	// context.Canceled / context.DeadlineExceeded). The check happens only
+	// between rounds — never mid-round — so the steady-state round loop
+	// stays allocation-free and the concurrent engine's worker goroutines
+	// are always quiescent when the run aborts. A nil Ctx means the run
+	// cannot be cancelled; it is NOT defaulted to context.Background, so
+	// the hot path pays a single pointer test.
+	Ctx context.Context
 }
 
 // ErrConfig wraps all configuration validation failures.

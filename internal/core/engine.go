@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -146,7 +147,9 @@ type Runner struct {
 func NewRunner() *Runner { return &Runner{} }
 
 // Run executes the protocol on the deterministic engine, recycling the
-// Runner's scratch state.
+// Runner's scratch state. When cfg.Ctx is non-nil, cancellation is honoured
+// at every round boundary: the run returns the context's error (satisfying
+// errors.Is(err, context.Canceled)) within one round of the cancellation.
 func (r *Runner) Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -157,6 +160,9 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := checkCtx(cfg.Ctx, round); err != nil {
+			return nil, err
+		}
 		if err := st.runRound(round); err != nil {
 			return nil, err
 		}
@@ -165,6 +171,19 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		}
 	}
 	return st.result(), nil
+}
+
+// checkCtx is the once-per-round cancellation probe shared by both engines.
+// The nil test keeps uncancellable runs free of any context machinery; the
+// non-nil path is a single atomic load inside ctx.Err, no allocation.
+func checkCtx(ctx context.Context, round int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled before round %d: %w", round, err)
+	}
+	return nil
 }
 
 // runState is the mutable state of one execution. Its slices alias the

@@ -1,126 +1,31 @@
-package core
+package core_test
 
 import (
 	"fmt"
-	"math"
 	"os"
 	"sort"
 	"testing"
 
-	"mbfaa/internal/mobile"
-	"mbfaa/internal/msr"
+	"mbfaa/internal/core"
+	"mbfaa/internal/golden"
 )
 
 // The golden-determinism suite pins the exact outputs of Run and
 // RunConcurrent for a matrix of {model} × {algorithm} × {adversary} × {seed}
-// configurations. The digests were recorded from the pre-refactor (PR 1)
-// reference engine before the PR-2 scratch-reuse optimization landed, and
-// must never change: any optimization or refactor of the round loop has to
-// reproduce these bit-for-bit (votes, rounds, diameter series, decisions).
+// configurations. The case matrix and the pinned digests live in
+// internal/golden (shared with the public facade's equivalence suite): the
+// digests were recorded from the pre-refactor (PR 1) reference engine
+// before the PR-2 scratch-reuse optimization landed, and must never change.
 // Regenerate with MBFAA_GOLDEN_GEN=1 go test -run TestGoldenDigests -v
 // ONLY when a deliberate, reviewed semantic change is being made.
 
-// goldenDigest folds every observable field of a Result into one FNV-1a
-// hash. Float64s are folded by bit pattern, so even a one-ulp drift or a
-// NaN payload change flips the digest.
-func goldenDigest(res *Result) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(x uint64) {
-		h ^= x
-		h *= prime64
-	}
-	mixBool := func(b bool) {
-		if b {
-			mix(1)
-		} else {
-			mix(2)
-		}
-	}
-	mix(uint64(res.Rounds))
-	mixBool(res.Converged)
-	mix(math.Float64bits(res.InitialCorrectRange.Lo))
-	mix(math.Float64bits(res.InitialCorrectRange.Hi))
-	for _, v := range res.Votes {
-		mix(math.Float64bits(v))
-	}
-	for _, d := range res.Decided {
-		mixBool(d)
-	}
-	for _, d := range res.DiameterSeries {
-		mix(math.Float64bits(d))
-	}
-	return h
-}
-
-// goldenCase is one pinned configuration.
-type goldenCase struct {
-	key string
-	cfg Config
-}
-
-// goldenCases builds the full pinned matrix: every model × every algorithm
-// × three seeds × four adversaries (the deterministic splitter, the
-// Rng-driven random adversary, the stateful greedy lookahead, and a
-// dynamic-halting rotating run), at n = RequiredN(f)+1 with f = 2.
-func goldenCases(t *testing.T) []goldenCase {
+// goldenCases builds the shared pinned matrix, failing the test on a
+// construction error.
+func goldenCases(t *testing.T) []golden.Case {
 	t.Helper()
-	const f = 2
-	var cases []goldenCase
-	for _, model := range mobile.AllModels() {
-		n := model.RequiredN(f) + 1
-		layout, err := mobile.SplitterLayout(model, n, f, 0, 1)
-		if err != nil {
-			t.Fatalf("%v: splitter layout: %v", model, err)
-		}
-		spread := make([]float64, n)
-		for i := range spread {
-			spread[i] = float64(i) / float64(n)
-		}
-		for _, algo := range msr.All() {
-			for seed := uint64(1); seed <= 3; seed++ {
-				base := Config{
-					Model:     model,
-					N:         n,
-					F:         f,
-					Algorithm: algo,
-					Epsilon:   1e-3,
-					Seed:      seed,
-				}
-				mk := func(adv string) Config {
-					c := base
-					switch adv {
-					case "splitter":
-						c.Adversary = mobile.NewSplitter()
-						c.Inputs = layout.Inputs(n)
-						c.InitialCured = layout.InitialCured(model, f)
-						c.FixedRounds = 12
-					case "random":
-						c.Adversary = mobile.NewRandom()
-						c.Inputs = spread
-						c.FixedRounds = 12
-					case "greedy":
-						c.Adversary = mobile.NewGreedy()
-						c.Inputs = spread
-						c.FixedRounds = 8
-					case "rotating-dyn":
-						c.Adversary = mobile.NewRotating()
-						c.Inputs = spread
-						c.MaxRounds = 80
-					}
-					return c
-				}
-				for _, adv := range []string{"splitter", "random", "greedy", "rotating-dyn"} {
-					cases = append(cases, goldenCase{
-						key: fmt.Sprintf("%s/%s/%s/seed=%d", model.Short(), algo.Name(), adv, seed),
-						cfg: mk(adv),
-					})
-				}
-			}
-		}
+	cases, err := golden.Cases()
+	if err != nil {
+		t.Fatal(err)
 	}
 	return cases
 }
@@ -133,11 +38,11 @@ func TestGoldenDigests(t *testing.T) {
 	gen := os.Getenv("MBFAA_GOLDEN_GEN") != ""
 	got := make(map[string]uint64, len(cases))
 	for _, gc := range cases {
-		res, err := Run(gc.cfg)
+		res, err := core.Run(gc.Cfg)
 		if err != nil {
-			t.Fatalf("%s: %v", gc.key, err)
+			t.Fatalf("%s: %v", gc.Key, err)
 		}
-		got[gc.key] = goldenDigest(res)
+		got[gc.Key] = golden.Digest(res)
 	}
 	if gen {
 		keys := make([]string, 0, len(got))
@@ -150,17 +55,17 @@ func TestGoldenDigests(t *testing.T) {
 		}
 		return
 	}
-	if len(goldenDigests) == 0 {
+	if len(golden.Digests) == 0 {
 		t.Fatal("golden digest table is empty; regenerate with MBFAA_GOLDEN_GEN=1")
 	}
 	for _, gc := range cases {
-		want, ok := goldenDigests[gc.key]
+		want, ok := golden.Digests[gc.Key]
 		if !ok {
-			t.Errorf("%s: no pinned digest (regenerate the table)", gc.key)
+			t.Errorf("%s: no pinned digest (regenerate the table)", gc.Key)
 			continue
 		}
-		if got[gc.key] != want {
-			t.Errorf("%s: digest 0x%016x, pinned 0x%016x — engine output changed", gc.key, got[gc.key], want)
+		if got[gc.Key] != want {
+			t.Errorf("%s: digest 0x%016x, pinned 0x%016x — engine output changed", gc.Key, got[gc.Key], want)
 		}
 	}
 }
@@ -172,16 +77,13 @@ func TestGoldenDigestsConcurrent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("concurrent golden sweep is slow under -short")
 	}
-	if len(goldenDigests) == 0 {
-		t.Skip("golden digest table not generated yet")
-	}
 	for _, gc := range goldenCases(t) {
-		res, err := RunConcurrent(gc.cfg)
+		res, err := core.RunConcurrent(gc.Cfg)
 		if err != nil {
-			t.Fatalf("%s: %v", gc.key, err)
+			t.Fatalf("%s: %v", gc.Key, err)
 		}
-		if d := goldenDigest(res); d != goldenDigests[gc.key] {
-			t.Errorf("%s: concurrent digest 0x%016x, pinned 0x%016x", gc.key, d, goldenDigests[gc.key])
+		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+			t.Errorf("%s: concurrent digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
 		}
 	}
 }
@@ -191,17 +93,14 @@ func TestGoldenDigestsConcurrent(t *testing.T) {
 // still reproduces every pinned digest. This is the regression test for
 // cross-run scratch contamination.
 func TestGoldenRunnerReuse(t *testing.T) {
-	if len(goldenDigests) == 0 {
-		t.Skip("golden digest table not generated yet")
-	}
-	r := NewRunner()
+	r := core.NewRunner()
 	for _, gc := range goldenCases(t) {
-		res, err := r.Run(gc.cfg)
+		res, err := r.Run(gc.Cfg)
 		if err != nil {
-			t.Fatalf("%s: %v", gc.key, err)
+			t.Fatalf("%s: %v", gc.Key, err)
 		}
-		if d := goldenDigest(res); d != goldenDigests[gc.key] {
-			t.Errorf("%s: reused-Runner digest 0x%016x, pinned 0x%016x", gc.key, d, goldenDigests[gc.key])
+		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+			t.Errorf("%s: reused-Runner digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
 		}
 	}
 }

@@ -1,8 +1,10 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	"mbfaa/internal/core"
+	"mbfaa/internal/golden"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
 )
@@ -51,8 +53,8 @@ func TestViewRetainerGetsStableCopies(t *testing.T) {
 	for i := range inputs {
 		inputs[i] = float64(i) / n
 	}
-	mkCfg := func(adv mobile.Adversary) Config {
-		return Config{
+	mkCfg := func(adv mobile.Adversary) core.Config {
+		return core.Config{
 			Model:       mobile.M2Bonnet,
 			N:           n,
 			F:           f,
@@ -66,7 +68,7 @@ func TestViewRetainerGetsStableCopies(t *testing.T) {
 	}
 
 	ret := &retainingAdversary{inner: mobile.NewRotating()}
-	res, err := Run(mkCfg(ret))
+	res, err := core.Run(mkCfg(ret))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +85,11 @@ func TestViewRetainerGetsStableCopies(t *testing.T) {
 	}
 
 	// Declaring retention must not change the run's outputs.
-	plain, err := Run(mkCfg(mobile.NewRotating()))
+	plain, err := core.Run(mkCfg(mobile.NewRotating()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if goldenDigest(res) != goldenDigest(plain) {
+	if golden.Digest(res) != golden.Digest(plain) {
 		t.Error("ViewRetainer adversary produced different outputs than the plain adversary")
 	}
 }

@@ -110,6 +110,28 @@ type Adversary interface {
 	QueueValue(v *View, cured, receiver int) (value float64, omit bool)
 }
 
+// Stateful is the marker interface for adversaries whose instances carry
+// per-run mutable state (the splitter pins its camp geometry at the first
+// placement, the greedy adversary caches its chosen rule per round, the
+// static mixed-mode adversary pins its camp values). A stateful instance
+// must be fresh per run: reusing one across runs replays stale decisions,
+// and sharing one across concurrently executing runs is a data race. Batch
+// layers use IsStateful to reject shared stateful instances eagerly and to
+// demand constructors instead.
+type Stateful interface {
+	// FreshPerRun is a marker method; implementations are empty. Its
+	// presence declares that the adversary instance must not be shared
+	// across runs.
+	FreshPerRun()
+}
+
+// IsStateful reports whether the adversary declares per-run mutable state
+// via the Stateful marker.
+func IsStateful(a Adversary) bool {
+	_, ok := a.(Stateful)
+	return ok
+}
+
 // ViewRetainer is the opt-in contract for adversaries that retain the View
 // or its slices beyond the call that received them. The engines normally
 // hand adversaries a reusable scratch view whose contents are only valid
@@ -166,6 +188,24 @@ func ByAdversaryName(name string) (Adversary, error) {
 	default:
 		return nil, fmt.Errorf("mobile: unknown adversary %q (have %v)", name, AdversaryNames())
 	}
+}
+
+// AdversaryFactoryByName returns a constructor for a registered adversary
+// name: every call of the returned function yields a fresh instance, which
+// is what batch runners need for stateful adversaries. The name is resolved
+// eagerly, so an unknown name fails here, not on first use.
+func AdversaryFactoryByName(name string) (func() Adversary, error) {
+	if _, err := ByAdversaryName(name); err != nil {
+		return nil, err
+	}
+	return func() Adversary {
+		a, err := ByAdversaryName(name)
+		if err != nil {
+			// Cannot happen: the name was resolved above.
+			panic(err)
+		}
+		return a
+	}, nil
 }
 
 // AdversaryNames lists the registered adversary names.

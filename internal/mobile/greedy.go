@@ -30,6 +30,10 @@ func NewGreedy() *Greedy { return &Greedy{} }
 // Name implements Adversary.
 func (g *Greedy) Name() string { return "greedy" }
 
+// FreshPerRun marks the greedy adversary as stateful: it caches the chosen
+// value rule per round and must not be shared across runs.
+func (g *Greedy) FreshPerRun() {}
+
 // valueRule is one candidate strategy: what a faulty (or M3-cured) process
 // sends to each receiver.
 type valueRule int

@@ -35,6 +35,10 @@ func NewMixedMode(census mixedmode.Counts) *MixedMode {
 // Name implements Adversary.
 func (m *MixedMode) Name() string { return "mixedmode" }
 
+// FreshPerRun marks the census adversary as stateful: it pins its camp
+// values at the first placement and must not be shared across runs.
+func (m *MixedMode) FreshPerRun() {}
+
 func (m *MixedMode) pin(v *View) {
 	if m.havePin {
 		return

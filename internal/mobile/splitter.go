@@ -48,6 +48,10 @@ func NewSplitter() *Splitter { return &Splitter{} }
 // Name implements Adversary.
 func (s *Splitter) Name() string { return "splitter" }
 
+// FreshPerRun marks the splitter as stateful: it pins its camp geometry at
+// the first placement and must not be shared across runs.
+func (s *Splitter) FreshPerRun() {}
+
 // Layout partitions the process indices for the splitter strategy: a pool
 // of ping-pong hosts, a Low camp and a High camp, plus the camp values.
 type Layout struct {

@@ -11,6 +11,7 @@
 package robots
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,6 +43,9 @@ type Config struct {
 	Arena float64
 	// Seed drives position generation and the adversaries.
 	Seed uint64
+	// Ctx, when non-nil, makes the gathering cancellable (see
+	// vector.Config.Ctx). Nil means not cancellable.
+	Ctx context.Context
 }
 
 // Validate checks the configuration.
@@ -132,6 +136,7 @@ func Gather(cfg Config) (*Report, error) {
 		Epsilon:      cfg.Epsilon,
 		Radius:       cfg.Arena,
 		Seed:         cfg.Seed,
+		Ctx:          cfg.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("robots: %w", err)

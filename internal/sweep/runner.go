@@ -9,6 +9,7 @@ import (
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
 	"mbfaa/internal/prng"
+	"mbfaa/internal/trace"
 )
 
 // Job describes one protocol execution of an experiment grid. Generators
@@ -48,6 +49,13 @@ type Job struct {
 	// runs on the worker executing this job; it must not share mutable
 	// state with other jobs' callbacks.
 	OnRound func(core.RoundInfo)
+	// EnableCheckers turns on the run's invariant checkers (see
+	// core.Config.EnableCheckers); the report lands in the job's Result.
+	EnableCheckers bool
+	// Recorder, when non-nil, receives the run's structured event trace. It
+	// must not be shared with another job: jobs run concurrently and the
+	// recorder is not synchronized.
+	Recorder *trace.Recorder
 	// Label annotates errors with the generator's context.
 	Label string
 }
@@ -67,19 +75,22 @@ func (j Job) config(index int, opt Options) core.Config {
 		seed = DeriveSeed(opt.Seed, index)
 	}
 	return core.Config{
-		Model:        j.Model,
-		N:            j.N,
-		F:            j.F,
-		Algorithm:    j.Algorithm,
-		Adversary:    j.Adversary(),
-		Inputs:       j.Inputs,
-		InitialCured: j.InitialCured,
-		Epsilon:      eps,
-		MaxRounds:    maxRounds,
-		FixedRounds:  j.FixedRounds,
-		TrimOverride: j.TrimOverride,
-		Seed:         seed,
-		OnRound:      j.OnRound,
+		Model:          j.Model,
+		N:              j.N,
+		F:              j.F,
+		Algorithm:      j.Algorithm,
+		Adversary:      j.Adversary(),
+		Inputs:         j.Inputs,
+		InitialCured:   j.InitialCured,
+		Epsilon:        eps,
+		MaxRounds:      maxRounds,
+		FixedRounds:    j.FixedRounds,
+		TrimOverride:   j.TrimOverride,
+		Seed:           seed,
+		OnRound:        j.OnRound,
+		EnableCheckers: j.EnableCheckers,
+		Recorder:       j.Recorder,
+		Ctx:            opt.Ctx,
 	}
 }
 
@@ -130,15 +141,28 @@ func (o Options) workerCount(jobs int) int {
 // worker recycle the engine's scratch buffers instead of reallocating the
 // round state per run. Runner reuse cannot leak state between jobs: every
 // Result is copied out of scratch, which the core golden suite asserts.
+//
+// When Options.Ctx is cancelled, jobs not yet started are skipped and
+// in-flight runs abort at their next round boundary; every affected job
+// records the context's error and RunJobs reports the first of them in job
+// order, so errors.Is(err, context.Canceled) holds for the batch error.
 func RunJobs(jobs []Job, opt Options) ([]*core.Result, error) {
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	exec := func(r *core.Runner, i int) {
-		if jobs[i].Adversary == nil {
+		switch {
+		case opt.Ctx != nil && opt.Ctx.Err() != nil:
+			// Skip, but still flow through the completion hook so progress
+			// consumers see every index exactly once.
+			errs[i] = opt.Ctx.Err()
+		case jobs[i].Adversary == nil:
 			errs[i] = fmt.Errorf("nil adversary constructor")
-			return
+		default:
+			results[i], errs[i] = r.Run(jobs[i].config(i, opt))
 		}
-		results[i], errs[i] = r.Run(jobs[i].config(i, opt))
+		if opt.OnJobDone != nil {
+			opt.OnJobDone(i, results[i], errs[i])
+		}
 	}
 
 	if workers := opt.workerCount(len(jobs)); workers <= 1 {

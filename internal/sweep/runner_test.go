@@ -1,13 +1,18 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
+	"mbfaa/internal/core"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
+	"mbfaa/internal/trace"
 )
 
 // testOpts returns fast options for the invariance suite: the freeze probes
@@ -269,5 +274,98 @@ func TestGeneratorsRepeatable(t *testing.T) {
 		if !reflect.DeepEqual(first, again) {
 			t.Fatalf("run %d differs from the first parallel run", i)
 		}
+	}
+}
+
+// TestRunJobsCancellation asserts that cancelling Options.Ctx aborts the
+// batch: in-flight runs stop at their next round boundary, queued jobs are
+// skipped, and the batch error satisfies errors.Is(err, context.Canceled).
+func TestRunJobsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		job, err := splitterJob(mobile.M1Garay, 9, 1, msr.FTA{}, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// The first job cancels the batch from its 20th round snapshot.
+			job.OnRound = func(ri core.RoundInfo) {
+				if ri.Round == 20 {
+					cancel()
+				}
+			}
+		}
+		jobs = append(jobs, job)
+	}
+	opt := testOpts(2)
+	opt.Ctx = ctx
+	_, err := RunJobs(jobs, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunJobsOnJobDone asserts the completion hook fires exactly once per
+// job with the job's own result.
+func TestRunJobsOnJobDone(t *testing.T) {
+	var jobs []Job
+	for n := 7; n <= 12; n++ {
+		job, err := splitterJob(mobile.M1Garay, n, 1, msr.FTA{}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	opt := testOpts(3)
+	opt.OnJobDone = func(index int, res *core.Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			t.Errorf("job %d: %v", index, err)
+		}
+		if res == nil {
+			t.Errorf("job %d: nil result", index)
+		}
+		seen[index]++
+	}
+	results, err := RunJobs(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(results) {
+		t.Fatalf("hook fired for %d jobs, want %d", len(seen), len(results))
+	}
+	for i, count := range seen {
+		if count != 1 {
+			t.Errorf("job %d reported %d times", i, count)
+		}
+	}
+}
+
+// TestJobForwardsCheckersAndRecorder asserts the Job fields added for the
+// public batch layer reach the engine config.
+func TestJobForwardsCheckersAndRecorder(t *testing.T) {
+	job, err := splitterJob(mobile.M2Bonnet, 11, 2, msr.FTA{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New()
+	job.EnableCheckers = true
+	job.Recorder = rec
+	results, err := RunJobs([]Job{job}, testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Check == nil {
+		t.Error("EnableCheckers did not reach the engine")
+	}
+	if rec.Len() == 0 {
+		t.Error("Recorder did not reach the engine")
 	}
 }

@@ -30,6 +30,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -57,6 +58,21 @@ type Options struct {
 	// Workers bounds the experiment runner's worker pool. 0 (the default)
 	// means runtime.NumCPU(). Results are independent of the value.
 	Workers int
+	// Ctx, when non-nil, makes the whole batch cancellable: in-flight runs
+	// abort at their next round boundary (core.Config.Ctx) and queued jobs
+	// are skipped, each recording the context's error. RunJobs then reports
+	// the first affected job's error, which satisfies
+	// errors.Is(err, context.Canceled). Nil means the batch cannot be
+	// cancelled. Cancellation only ever truncates a batch — it never
+	// reorders or reseeds it, so completed prefixes remain bit-identical
+	// to an uncancelled batch.
+	Ctx context.Context
+	// OnJobDone, when non-nil, is invoked once per job as it completes
+	// (with its result or error), concurrently from the pool's worker
+	// goroutines and in completion order, not job order. It must be safe
+	// for concurrent use; batch progress reporting funnels it into a
+	// channel.
+	OnJobDone func(index int, res *core.Result, err error)
 }
 
 // DefaultOptions returns the parameters used throughout EXPERIMENTS.md.

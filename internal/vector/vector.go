@@ -15,6 +15,7 @@
 package vector
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -46,6 +47,10 @@ type Config struct {
 	Radius float64
 	// Seed drives all coordinate instances identically.
 	Seed uint64
+	// Ctx, when non-nil, makes the run cancellable: the in-flight
+	// coordinate instance aborts at its next round boundary and no further
+	// coordinate starts. Nil means not cancellable.
+	Ctx context.Context
 }
 
 // Validate checks the configuration.
@@ -190,6 +195,7 @@ func Run(cfg Config) (*Result, error) {
 			Epsilon:     cfg.Epsilon,
 			FixedRounds: rounds,
 			Seed:        cfg.Seed + 1,
+			Ctx:         cfg.Ctx,
 		}
 		axis, err := runner.Run(axisCfg)
 		if err != nil {
