@@ -183,10 +183,7 @@ func Models() []Model { return mobile.AllModels() }
 // n exceeds the model's bound, and a *BoundError (wrapping ErrBelowBound)
 // explaining the bound when it does not.
 func CheckSystem(m Model, n, f int) error {
-	if n > m.Bound(f) {
-		return nil
-	}
-	return &BoundError{Model: m, N: n, F: f}
+	return mobile.CheckSystem(m, n, f)
 }
 
 // WorstCase returns the paper's worst-case setup for an (n, f, model)

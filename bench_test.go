@@ -392,7 +392,7 @@ func BenchmarkFigure6Engines(b *testing.B) {
 					Schedule:     cluster.RotatingFaults{N: n, F: f},
 				}
 			}
-			if _, err := cluster.RunCluster(cfgs, links); err != nil {
+			if _, err := cluster.RunCluster(context.Background(), cfgs, links); err != nil {
 				b.Fatal(err)
 			}
 			for _, nd := range nodes {

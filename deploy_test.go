@@ -1,0 +1,449 @@
+package mbfaa_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mbfaa"
+	"mbfaa/internal/cluster"
+	"mbfaa/internal/prng"
+)
+
+// deployInputs returns n values spread over [lo, hi].
+func deployInputs(seed uint64, n int, lo, hi float64) []float64 {
+	rng := prng.New(seed)
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = rng.Range(lo, hi)
+	}
+	return inputs
+}
+
+// TestDeploy64NodeFullMesh is the acceptance run: a 64-node in-memory
+// full-mesh deployment under a rotating 3-agent schedule reaches
+// convergence, and the simulation engine agrees on the verdict for the
+// matching Spec.
+func TestDeploy64NodeFullMesh(t *testing.T) {
+	const n, f = 64, 3
+	inputs := deployInputs(11, n, 20, 21)
+	spec := mbfaa.ClusterSpec{
+		Model:        mbfaa.M1,
+		N:            n,
+		F:            f,
+		Inputs:       inputs,
+		Epsilon:      1e-3,
+		InputRange:   1,
+		ScheduleName: "rotating",
+	}
+	eng := mbfaa.NewEngine()
+	dep, err := eng.Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	res, err := dep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("64-node deployment did not converge (diameter %g)", res.DecisionDiameter())
+	}
+	if got := res.DecisionDiameter(); got > 1e-3 {
+		t.Errorf("decision diameter %g > ε", got)
+	}
+	if !res.Valid() {
+		t.Error("validity violated: a decision left the correct-input range")
+	}
+	if len(res.Stats) != n {
+		t.Fatalf("got %d node stats, want %d", len(res.Stats), n)
+	}
+	for id, st := range res.Stats {
+		if want := int64(n * res.Rounds); st.Sent != want {
+			t.Errorf("node %d sent %d messages, want %d", id, st.Sent, want)
+		}
+		if st.Received == 0 {
+			t.Errorf("node %d received nothing", id)
+		}
+	}
+
+	// The simulation engine's verdict for the same system agrees.
+	simSpec := mbfaa.NewSpec(
+		mbfaa.WithModel(mbfaa.M1),
+		mbfaa.WithSystem(n, f),
+		mbfaa.WithInputs(inputs...),
+		mbfaa.WithEpsilon(1e-3),
+		mbfaa.WithAdversaryName("rotating"),
+	)
+	simRes, err := eng.Run(context.Background(), simSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Converged != res.Converged {
+		t.Errorf("verdict disagreement: simulation converged=%v, deployment converged=%v",
+			simRes.Converged, res.Converged)
+	}
+}
+
+// TestDeployTCP runs a small deployment over real loopback sockets.
+func TestDeployTCP(t *testing.T) {
+	const n, f = 9, 2
+	dep, err := mbfaa.NewEngine().Deploy(mbfaa.ClusterSpec{
+		Model:        mbfaa.M1,
+		N:            n,
+		F:            f,
+		Inputs:       deployInputs(5, n, 0, 1),
+		Epsilon:      1e-3,
+		InputRange:   1,
+		ScheduleName: "rotating",
+		Transport:    "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	res, err := dep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("TCP deployment did not converge (diameter %g)", res.DecisionDiameter())
+	}
+	for id, st := range res.Stats {
+		if st.Rejected != 0 {
+			t.Errorf("node %d rejected %d frames in an honest-transport run", id, st.Rejected)
+		}
+	}
+}
+
+// TestDeployPartialTopologies exercises the ring and random-regular graphs:
+// honest and rotating-fault runs both reach ε-agreement, matching the core
+// engine's verdict for the equivalent full-information system.
+func TestDeployPartialTopologies(t *testing.T) {
+	cases := []struct {
+		name     string
+		topology string
+		degree   int
+		n, f     int
+		schedule string
+		rounds   int
+	}{
+		{"ring-honest", "ring", 4, 16, 0, "none", 0},
+		{"ring-rotating", "ring", 6, 16, 1, "rotating", 60},
+		{"regular-honest", "regular", 4, 16, 0, "none", 0},
+		{"regular-rotating", "regular", 8, 16, 1, "rotating", 60},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dep, err := mbfaa.NewEngine().Deploy(mbfaa.ClusterSpec{
+				Model:        mbfaa.M1,
+				N:            tc.n,
+				F:            tc.f,
+				Inputs:       deployInputs(7, tc.n, 5, 6),
+				Epsilon:      1e-3,
+				InputRange:   1,
+				ScheduleName: tc.schedule,
+				Topology:     tc.topology,
+				Degree:       tc.degree,
+				TopologySeed: 42,
+				FixedRounds:  tc.rounds,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = dep.Close() }()
+			if dep.TopologyName() != tc.topology {
+				t.Errorf("topology %q, want %q", dep.TopologyName(), tc.topology)
+			}
+			res, err := dep.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Errorf("%s deployment did not converge: diameter %g after %d rounds",
+					tc.topology, res.DecisionDiameter(), res.Rounds)
+			}
+			if !res.Valid() {
+				t.Error("validity violated on partial topology")
+			}
+		})
+	}
+}
+
+// TestClusterSpecValidate checks the eager typed-error surface.
+func TestClusterSpecValidate(t *testing.T) {
+	good := mbfaa.ClusterSpec{
+		Model:      mbfaa.M1,
+		N:          5,
+		F:          1,
+		Inputs:     []float64{1, 2, 3, 4, 5},
+		Epsilon:    1e-3,
+		InputRange: 4,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	bad := []struct {
+		name   string
+		mutate func(*mbfaa.ClusterSpec)
+	}{
+		{"model", func(s *mbfaa.ClusterSpec) { s.Model = 99 }},
+		{"inputs-count", func(s *mbfaa.ClusterSpec) { s.Inputs = s.Inputs[:3] }},
+		{"negative-f", func(s *mbfaa.ClusterSpec) { s.F = -1 }},
+		{"epsilon", func(s *mbfaa.ClusterSpec) { s.Epsilon = -1 }},
+		{"input-range-nan", func(s *mbfaa.ClusterSpec) { s.InputRange = math.NaN() }},
+		{"input-range-negative", func(s *mbfaa.ClusterSpec) { s.InputRange = -1 }},
+		{"algorithm", func(s *mbfaa.ClusterSpec) { s.AlgorithmName = "nope" }},
+		{"schedule", func(s *mbfaa.ClusterSpec) { s.ScheduleName = "nope" }},
+		{"topology", func(s *mbfaa.ClusterSpec) { s.Topology = "torus" }},
+		{"transport", func(s *mbfaa.ClusterSpec) { s.Transport = "carrier-pigeon" }},
+		{"ring-odd-degree", func(s *mbfaa.ClusterSpec) { s.Topology = "ring"; s.Degree = 3 }},
+		{"pingpong-camps", func(s *mbfaa.ClusterSpec) { s.ScheduleName = "pingpong"; s.F = 3; s.AllowSubBound = true }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good
+			s.Inputs = append([]float64(nil), good.Inputs...)
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !errors.Is(err, mbfaa.ErrSpec) {
+				t.Errorf("err %v does not wrap ErrSpec", err)
+			}
+		})
+	}
+}
+
+// TestClusterSpecBoundCheck pins the resilience-bound bugfix: a deployment
+// at n ≤ k·f fails eagerly with the model's typed *BoundError, and the
+// AllowSubBound escape hatch restores the lower-bound regime.
+func TestClusterSpecBoundCheck(t *testing.T) {
+	spec := mbfaa.ClusterSpec{
+		Model:      mbfaa.M1, // bound 4f: n must exceed 4
+		N:          4,
+		F:          1,
+		Inputs:     []float64{0, 0.3, 0.6, 1},
+		Epsilon:    1e-3,
+		InputRange: 1,
+	}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("sub-bound deployment accepted")
+	}
+	if !errors.Is(err, mbfaa.ErrBelowBound) {
+		t.Errorf("err %v does not wrap ErrBelowBound", err)
+	}
+	var be *mbfaa.BoundError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %T is not *BoundError", err)
+	}
+	if be.N != 4 || be.F != 1 || be.Model != mbfaa.M1 {
+		t.Errorf("BoundError = %+v, want n=4 f=1 M1", be)
+	}
+
+	spec.AllowSubBound = true
+	spec.FixedRounds = 4
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("AllowSubBound spec rejected: %v", err)
+	}
+	// Deploy agrees with Validate on both sides.
+	if _, err := mbfaa.NewEngine().Deploy(mbfaa.ClusterSpec{
+		Model: mbfaa.M1, N: 4, F: 1, Inputs: []float64{0, 0.3, 0.6, 1},
+		Epsilon: 1e-3, InputRange: 1,
+	}); !errors.Is(err, mbfaa.ErrBelowBound) {
+		t.Errorf("Deploy err = %v, want ErrBelowBound", err)
+	}
+	dep, err := mbfaa.NewEngine().Deploy(spec)
+	if err != nil {
+		t.Fatalf("Deploy with AllowSubBound: %v", err)
+	}
+	_ = dep.Close()
+}
+
+// TestClusterSpecJSONRoundTrip: a name-selected spec survives JSON and
+// produces an identical deployment description.
+func TestClusterSpecJSONRoundTrip(t *testing.T) {
+	spec := mbfaa.ClusterSpec{
+		Model:         mbfaa.M2,
+		N:             11,
+		F:             1,
+		Inputs:        deployInputs(3, 11, 0, 1),
+		Epsilon:       1e-4,
+		InputRange:    1,
+		FixedRounds:   12,
+		RoundTimeout:  150 * time.Millisecond,
+		AlgorithmName: "fta",
+		ScheduleName:  "pingpong",
+		Topology:      "regular",
+		Degree:        6,
+		TopologySeed:  9,
+		Transport:     "memory",
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mbfaa.ClusterSpec
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped spec invalid: %v", err)
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Errorf("JSON round trip not stable:\n%s\n%s", blob, blob2)
+	}
+	dep, err := mbfaa.NewEngine().Deploy(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	if dep.Rounds() != 12 || dep.TopologyName() != "regular" {
+		t.Errorf("deployment from round-tripped spec: rounds=%d topology=%s", dep.Rounds(), dep.TopologyName())
+	}
+}
+
+// customTopology wraps a built-in graph behind a caller-defined type, so
+// the deployment can only see the ClusterTopology interface.
+type customTopology struct {
+	inner mbfaa.ClusterTopology
+}
+
+func (c customTopology) Name() string           { return "custom" }
+func (c customTopology) Size() int              { return c.inner.Size() }
+func (c customTopology) Neighbors(id int) []int { return c.inner.Neighbors(id) }
+
+// TestDeployCustomTopologyHorizon: a custom ClusterTopology supplied via
+// the Graph field gets the same partial-graph round horizon as the
+// equivalent built-in graph — not the (shorter) full-mesh horizon.
+func TestDeployCustomTopologyHorizon(t *testing.T) {
+	const n = 12
+	ring, err := cluster.Ring(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mbfaa.ClusterSpec{
+		N: n, F: 0, Inputs: deployInputs(4, n, 0, 1),
+		Epsilon: 1e-3, InputRange: 1,
+	}
+	builtin := base
+	builtin.Topology = "ring"
+	builtin.Degree = 4
+	depBuiltin, err := mbfaa.NewEngine().Deploy(builtin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = depBuiltin.Close() }()
+
+	custom := base
+	custom.Graph = customTopology{inner: ring}
+	depCustom, err := mbfaa.NewEngine().Deploy(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = depCustom.Close() }()
+
+	if depCustom.Rounds() != depBuiltin.Rounds() {
+		t.Errorf("custom topology horizon %d rounds, built-in ring %d — the interface path must get the partial-graph stretch",
+			depCustom.Rounds(), depBuiltin.Rounds())
+	}
+	if depCustom.TopologyName() != "custom" {
+		t.Errorf("TopologyName = %q", depCustom.TopologyName())
+	}
+	res, err := depCustom.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("custom-topology run did not converge (diameter %g after %d rounds)",
+			res.DecisionDiameter(), res.Rounds)
+	}
+}
+
+// TestDeployDisconnectedTopologyRejected: a graph that cannot carry global
+// agreement fails at Deploy, not at runtime.
+func TestDeployDisconnectedTopologyRejected(t *testing.T) {
+	pair, err := cluster.NewGraph("pairs", [][]int{{1}, {0}, {3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mbfaa.NewEngine().Deploy(mbfaa.ClusterSpec{
+		Model: mbfaa.M4, N: 4, F: 0,
+		Inputs: deployInputs(6, 4, 0, 1), Epsilon: 1e-2, InputRange: 1,
+		Graph: pair,
+	})
+	if err == nil {
+		t.Fatal("disconnected topology accepted")
+	}
+}
+
+// TestDeploymentSingleUse: a deployment runs once; reruns and runs after
+// Close fail cleanly.
+func TestDeploymentSingleUse(t *testing.T) {
+	spec := mbfaa.ClusterSpec{
+		N: 5, F: 1, Inputs: deployInputs(1, 5, 0, 1), Epsilon: 1e-2, InputRange: 1,
+	}
+	dep, err := mbfaa.NewEngine().Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	if _, err := dep.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Run(context.Background()); err == nil {
+		t.Error("second Run accepted")
+	}
+	dep2, err := mbfaa.NewEngine().Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep2.Run(context.Background()); err == nil {
+		t.Error("Run after Close accepted")
+	}
+}
+
+// TestDeploymentCancel: cancelling the context aborts the deployment
+// within a round.
+func TestDeploymentCancel(t *testing.T) {
+	dep, err := mbfaa.NewEngine().Deploy(mbfaa.ClusterSpec{
+		N: 5, F: 1, Inputs: deployInputs(2, 5, 0, 1),
+		Epsilon: 1e-2, InputRange: 1,
+		FixedRounds:  10000,
+		RoundTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := dep.Run(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled deployment did not stop")
+	}
+}

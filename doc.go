@@ -6,7 +6,7 @@
 // runtime checkers for its correctness theorems, executable versions of its
 // lower-bound constructions, and a full experiment harness.
 //
-// # The three API layers
+// # The four API layers
 //
 // The facade is organized around Spec, Engine and batches:
 //
@@ -30,6 +30,20 @@
 //     spec index) alone — see DeriveSeed. Stateful adversary instances
 //     shared across specs are rejected with a typed *SharedInstanceError;
 //     use WithAdversaryFactory instead.
+//
+//   - Engine.Deploy(ClusterSpec) is the distributed backend: it wires an
+//     n-node cluster over in-memory links or HMAC-authenticated loopback
+//     TCP sockets — full mesh, ring, random-regular or custom topology —
+//     running the protocol in lockstep rounds with deadline-based omission
+//     detection and schedule-driven mobile-fault injection, the paper-§3
+//     system over real message passing. ClusterSpec is JSON-serializable
+//     like Spec and validates eagerly (under-provisioned systems fail with
+//     the same *BoundError as CheckSystem before any socket opens);
+//     Deployment.Run(ctx) returns a ClusterResult embedding the core
+//     Result shape plus per-node transport counters and throughput. Unlike
+//     the simulation engines a deployment is not bit-deterministic — real
+//     sockets race — so the comparable surface is the verdict (Converged,
+//     DecisionDiameter, Valid), not the decision bits.
 //
 // A minimal run:
 //

@@ -3,6 +3,8 @@ package mbfaa
 import (
 	"errors"
 	"fmt"
+
+	"mbfaa/internal/mobile"
 )
 
 // Sentinel errors of the public API. Match them with errors.Is; the typed
@@ -17,7 +19,10 @@ var (
 	// pool's workers.
 	ErrSharedInstance = errors.New("mbfaa: mutable instance shared across batch specs")
 	// ErrBelowBound is the sentinel wrapped by *BoundError (CheckSystem).
-	ErrBelowBound = errors.New("mbfaa: system does not exceed the replica bound")
+	// The canonical definition lives in the mobile package so every
+	// execution backend (simulation engines and the cluster) rejects
+	// under-provisioned systems with the same error chain.
+	ErrBelowBound = mobile.ErrBelowBound
 )
 
 // ConfigError reports one invalid Spec field. It wraps ErrSpec.
@@ -69,18 +74,6 @@ func (e *SharedInstanceError) Error() string {
 func (e *SharedInstanceError) Unwrap() error { return ErrSharedInstance }
 
 // BoundError reports an (n, f, model) combination at or below the model's
-// Table 2 replica bound, returned by CheckSystem. It wraps ErrBelowBound.
-type BoundError struct {
-	Model Model
-	N, F  int
-}
-
-// Error implements error, spelling out the violated bound and the minimal
-// sufficient system size.
-func (e *BoundError) Error() string {
-	return fmt.Sprintf("mbfaa: n=%d does not exceed the %v bound %df=%d (need n ≥ %d)",
-		e.N, e.Model, e.Model.Bound(1), e.Model.Bound(e.F), e.Model.RequiredN(e.F))
-}
-
-// Unwrap makes errors.Is(err, ErrBelowBound) hold.
-func (e *BoundError) Unwrap() error { return ErrBelowBound }
+// Table 2 replica bound, returned by CheckSystem (and by ClusterSpec and
+// cluster-config validation). It wraps ErrBelowBound.
+type BoundError = mobile.BoundError

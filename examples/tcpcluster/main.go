@@ -1,20 +1,19 @@
 // Command tcpcluster runs the agreement protocol as a real distributed
-// deployment: thirteen nodes on separate TCP sockets (loopback mesh) with
-// HMAC-authenticated frames, lockstep rounds with deadline-based omission
-// detection, and a rotating mobile-fault schedule compromising three nodes
-// per round. No simulator: every message crosses a socket.
+// deployment through the public Deployment API: thirteen nodes on separate
+// TCP sockets (loopback mesh) with HMAC-authenticated frames, lockstep
+// rounds with deadline-based omission detection, and a rotating
+// mobile-fault schedule compromising three nodes per round. No simulator:
+// every message crosses a socket.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
 	"time"
 
 	"mbfaa"
-	"mbfaa/internal/cluster"
 	"mbfaa/internal/prng"
-	"mbfaa/internal/transport"
 )
 
 func main() {
@@ -23,66 +22,47 @@ func main() {
 		f       = 3
 		epsilon = 0.01
 	)
-	// Guard the deployment size with the typed bound check before opening
-	// any socket; a *BoundError would spell out the required n.
-	if err := mbfaa.CheckSystem(mbfaa.M1, n, f); err != nil {
-		log.Fatal(err)
-	}
-	key := []byte("mbfaa-demo-shared-key")
-
-	nodes, err := transport.NewTCPMesh(n, key)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer func() {
-		for _, nd := range nodes {
-			_ = nd.Close()
-		}
-	}()
-
 	rng := prng.New(3)
-	links := make([]transport.Link, n)
-	cfgs := make([]cluster.Config, n)
-	for i := range cfgs {
-		links[i] = nodes[i]
-		cfgs[i] = cluster.Config{
-			ID:           i,
-			N:            n,
-			F:            f,
-			Model:        mbfaa.M1,
-			Algorithm:    mbfaa.FTM,
-			Input:        42 + rng.Range(-1, 1),
-			InputRange:   2,
-			Epsilon:      epsilon,
-			RoundTimeout: 250 * time.Millisecond,
-			Schedule:     cluster.RotatingFaults{N: n, F: f},
-		}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = 42 + rng.Range(-1, 1)
 	}
 
-	rounds, err := cfgs[0].Rounds()
+	spec := mbfaa.ClusterSpec{
+		Model:        mbfaa.M1,
+		N:            n,
+		F:            f,
+		Inputs:       inputs,
+		Epsilon:      epsilon,
+		InputRange:   2,
+		ScheduleName: "rotating",
+		Transport:    "tcp",
+		RoundTimeout: 250 * time.Millisecond,
+	}
+	// Validation is eager: an under-provisioned system would fail here with
+	// a *BoundError spelling out the required n, before any socket opens.
+	dep, err := mbfaa.NewEngine().Deploy(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() { _ = dep.Close() }()
+
 	fmt.Printf("tcp cluster: n=%d f=%d model=%v, locally computed horizon %d rounds\n",
-		n, f, mbfaa.Model(mbfaa.M1), rounds)
+		n, f, mbfaa.Model(mbfaa.M1), dep.Rounds())
 
-	start := time.Now()
-	decisions, err := cluster.RunCluster(cfgs, links)
+	res, err := dep.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
 
-	honest := cluster.HonestAtEnd(cfgs[0].Schedule, rounds, n)
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for id, v := range decisions {
-		if !honest[id] {
+	for id, v := range res.Votes {
+		if !res.Decided[id] {
 			fmt.Printf("  node %-2d (agent-controlled at decision time)\n", id)
 			continue
 		}
 		fmt.Printf("  node %-2d decided %.5f\n", id, v)
-		lo = math.Min(lo, v)
-		hi = math.Max(hi, v)
 	}
-	fmt.Printf("honest spread %.5f (target ε=%.2g) in %v over real sockets\n", hi-lo, epsilon, elapsed.Round(time.Millisecond))
+	fmt.Printf("honest spread %.5f (target ε=%.2g) in %v over real sockets — %.0f msgs/s, %.1f rounds/s\n",
+		res.DecisionDiameter(), epsilon, res.Elapsed.Round(time.Millisecond),
+		res.MessagesPerSecond(), res.RoundsPerSecond())
 }

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/prng"
+	"mbfaa/internal/transport"
+)
+
+// noBatchLink hides the BatchSender fast path of the wrapped link, forcing
+// the node onto the legacy one-write-per-message path — the "before" side
+// of the frame-batching comparison.
+type noBatchLink struct {
+	transport.Link
+}
+
+// benchConfigs builds an honest n-node deployment running exactly rounds
+// rounds (one benchmark iteration = one round).
+func benchConfigs(n, rounds int) []Config {
+	rng := prng.New(9)
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			ID:           i,
+			N:            n,
+			F:            0,
+			Model:        mobile.M4Buhrman,
+			Algorithm:    msr.FTM{},
+			Input:        rng.Range(0, 1),
+			InputRange:   1,
+			Epsilon:      1e-9,
+			RoundTimeout: 2 * time.Second,
+			Schedule:     NoFaults{},
+			FixedRounds:  rounds,
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkClusterRound measures per-round cluster throughput (ns/op is
+// nanoseconds per protocol round for the whole n-node deployment, all
+// nodes included). The tcp pair compares the batched pipeline (one
+// coalesced write per peer per accumulated batch) against the legacy
+// per-message write path it replaced.
+func BenchmarkClusterRound(b *testing.B) {
+	const n = 16
+
+	b.Run("memory", func(b *testing.B) {
+		hub, err := transport.NewChannel(n, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = hub.Close() }()
+		links := make([]transport.Link, n)
+		for i := range links {
+			links[i] = hub.Link(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if _, err := RunCluster(context.Background(), benchConfigs(n, b.N), links); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	for _, mode := range []string{"tcp-batched", "tcp-permessage"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			nodes, err := transport.NewTCPMesh(n, []byte("bench-key"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, nd := range nodes {
+					_ = nd.Close()
+				}
+			}()
+			links := make([]transport.Link, n)
+			for i := range links {
+				if mode == "tcp-batched" {
+					links[i] = nodes[i]
+				} else {
+					links[i] = noBatchLink{Link: nodes[i]}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := RunCluster(context.Background(), benchConfigs(n, b.N), links); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			var writes, frames int64
+			for _, nd := range nodes {
+				writes += nd.BatchWrites()
+				frames += nd.FramesSent()
+			}
+			if writes > 0 {
+				b.ReportMetric(float64(frames)/float64(writes), "frames/write")
+			}
+		})
+	}
+}

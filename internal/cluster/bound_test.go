@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,20 +25,21 @@ func splitterClusterConfigs(t *testing.T, model mobile.Model, n, f, rounds int) 
 	cfgs := make([]Config, n)
 	for i := range cfgs {
 		cfgs[i] = Config{
-			ID:           i,
-			N:            n,
-			F:            f,
-			Model:        model,
-			Algorithm:    msr.FTA{},
-			Input:        inputs[i],
-			InputRange:   1,
-			Epsilon:      1e-3,
-			RoundTimeout: 200 * time.Millisecond,
-			Schedule:     PingPongFaults{F: f},
-			CampBoundary: boundary,
-			AttackLo:     0,
-			AttackHi:     1,
-			FixedRounds:  rounds,
+			ID:            i,
+			N:             n,
+			F:             f,
+			Model:         model,
+			Algorithm:     msr.FTA{},
+			Input:         inputs[i],
+			InputRange:    1,
+			Epsilon:       1e-3,
+			RoundTimeout:  200 * time.Millisecond,
+			Schedule:      PingPongFaults{N: n, F: f},
+			AllowSubBound: true, // n = bound is the point of the experiment
+			CampBoundary:  boundary,
+			AttackLo:      0,
+			AttackHi:      1,
+			FixedRounds:   rounds,
 		}
 	}
 	return cfgs
@@ -81,7 +83,7 @@ func TestClusterBoundGap(t *testing.T) {
 			// At the bound: frozen well away from agreement.
 			links, closeHub := channelLinks(t, nBound)
 			defer closeHub()
-			frozen, err := RunCluster(splitterClusterConfigs(t, model, nBound, f, rounds), links)
+			frozen, err := RunCluster(context.Background(), splitterClusterConfigs(t, model, nBound, f, rounds), links)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,7 +94,7 @@ func TestClusterBoundGap(t *testing.T) {
 			// One node more: the same attack collapses.
 			links2, closeHub2 := channelLinks(t, nBound+1)
 			defer closeHub2()
-			conv, err := RunCluster(splitterClusterConfigs(t, model, nBound+1, f, rounds), links2)
+			conv, err := RunCluster(context.Background(), splitterClusterConfigs(t, model, nBound+1, f, rounds), links2)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +124,7 @@ func TestClusterBoundGapOverTCP(t *testing.T) {
 		for i := range links {
 			links[i] = nodes[i]
 		}
-		decisions, err := RunCluster(splitterClusterConfigs(t, model, n, f, rounds), links)
+		decisions, err := RunCluster(context.Background(), splitterClusterConfigs(t, model, n, f, rounds), links)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +141,7 @@ func TestClusterBoundGapOverTCP(t *testing.T) {
 }
 
 func TestPingPongSchedule(t *testing.T) {
-	s := PingPongFaults{F: 2}
+	s := PingPongFaults{N: 5, F: 2}
 	even := s.Occupied(0)
 	odd := s.Occupied(1)
 	if len(even) != 2 || even[0] != 0 || even[1] != 1 {
@@ -150,5 +152,31 @@ func TestPingPongSchedule(t *testing.T) {
 	}
 	if got := (PingPongFaults{}).Occupied(0); got != nil {
 		t.Errorf("empty schedule occupied %v", got)
+	}
+}
+
+// TestPingPongScheduleClamped pins the fix for the out-of-range camp: with
+// 2F > N the second camp is clamped to the cluster, never emitting ids ≥ N,
+// and ValidateFor rejects the configuration outright.
+func TestPingPongScheduleClamped(t *testing.T) {
+	s := PingPongFaults{N: 3, F: 2}
+	for r := 0; r < 4; r++ {
+		for _, id := range s.Occupied(r) {
+			if id < 0 || id >= s.N {
+				t.Fatalf("round %d: occupied id %d out of range [0,%d)", r, id, s.N)
+			}
+		}
+	}
+	if got := s.Occupied(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("clamped odd camp = %v, want [2]", got)
+	}
+	if err := s.ValidateFor(3); err == nil {
+		t.Error("2f > n ping-pong accepted by ValidateFor")
+	}
+	if err := (PingPongFaults{N: 4, F: 2}).ValidateFor(4); err != nil {
+		t.Errorf("legal ping-pong rejected: %v", err)
+	}
+	if err := (PingPongFaults{N: 4, F: 2}).ValidateFor(6); err == nil {
+		t.Error("schedule/deployment size mismatch accepted")
 	}
 }

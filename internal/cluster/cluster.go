@@ -2,7 +2,10 @@
 // distributed deployment: one Node per process, communicating over a
 // transport.Link (in-memory channels or authenticated TCP sockets), in
 // lockstep rounds with deadline-based omission detection — the synchronous
-// system of paper §3 realised over actual message passing.
+// system of paper §3 realised over actual message passing. A Topology
+// restricts communication to a neighbor graph (full mesh by default; rings,
+// random-regular and arbitrary connected graphs for the partially-connected
+// regimes of Li, Hurfin & Wang 2012).
 //
 // Fault injection is schedule-driven: a FaultSchedule deterministically
 // marks which nodes the mobile agents occupy in each round, and occupied
@@ -13,6 +16,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,6 +35,17 @@ import (
 type FaultSchedule interface {
 	// Occupied returns the node ids hosting agents in round r.
 	Occupied(round int) []int
+}
+
+// SizedSchedule is implemented by schedules that know the cluster size they
+// were built for; Config.Validate uses it to reject a schedule that
+// disagrees with the deployment (the historical source of out-of-range
+// "occupied" ids).
+type SizedSchedule interface {
+	FaultSchedule
+	// ValidateFor reports whether the schedule is well-formed for an n-node
+	// cluster.
+	ValidateFor(n int) error
 }
 
 // NoFaults is the empty schedule.
@@ -58,6 +73,17 @@ func (s RotatingFaults) Occupied(round int) []int {
 	return out
 }
 
+// ValidateFor implements SizedSchedule.
+func (s RotatingFaults) ValidateFor(n int) error {
+	switch {
+	case s.N != n:
+		return fmt.Errorf("cluster: rotating schedule built for n=%d, deployment has n=%d", s.N, n)
+	case s.F > n:
+		return fmt.Errorf("cluster: rotating schedule occupies f=%d of only n=%d nodes", s.F, n)
+	}
+	return nil
+}
+
 // CrashFaults marks the same rotation as RotatingFaults but nodes omit
 // instead of lying (benign control).
 type CrashFaults struct {
@@ -69,11 +95,17 @@ func (s CrashFaults) Occupied(round int) []int {
 	return RotatingFaults(s).Occupied(round)
 }
 
+// ValidateFor implements SizedSchedule.
+func (s CrashFaults) ValidateFor(n int) error { return RotatingFaults(s).ValidateFor(n) }
+
 // PingPongFaults alternates the agents between nodes [0, F) and [F, 2F)
 // each round — the cluster counterpart of the splitter's maximum-pressure
-// schedule (every round has F occupied and F just-released nodes).
+// schedule (every round has F occupied and F just-released nodes). N is the
+// cluster size; the second camp is clamped to it, so the schedule never
+// emits node ids ≥ N (deployments with 2F > N are rejected by ValidateFor —
+// the ping-pong needs two disjoint camps).
 type PingPongFaults struct {
-	F int
+	N, F int
 }
 
 // Occupied implements FaultSchedule.
@@ -85,11 +117,29 @@ func (s PingPongFaults) Occupied(round int) []int {
 	if round%2 == 1 {
 		start = s.F
 	}
-	out := make([]int, 0, s.F)
-	for i := 0; i < s.F; i++ {
-		out = append(out, start+i)
+	end := start + s.F
+	if s.N > 0 && end > s.N {
+		end = s.N
+	}
+	if end <= start {
+		return nil
+	}
+	out := make([]int, 0, end-start)
+	for id := start; id < end; id++ {
+		out = append(out, id)
 	}
 	return out
+}
+
+// ValidateFor implements SizedSchedule.
+func (s PingPongFaults) ValidateFor(n int) error {
+	switch {
+	case s.N != n:
+		return fmt.Errorf("cluster: ping-pong schedule built for n=%d, deployment has n=%d", s.N, n)
+	case 2*s.F > n:
+		return fmt.Errorf("cluster: ping-pong schedule needs two disjoint camps: 2f=%d > n=%d", 2*s.F, n)
+	}
+	return nil
 }
 
 // Config parameterizes one cluster node.
@@ -116,6 +166,16 @@ type Config struct {
 	// Schedule injects mobile faults; NoFaults{} for honest runs. The
 	// schedule must be identical on every node of a test deployment.
 	Schedule FaultSchedule
+	// Topology restricts communication to a neighbor graph; nil means the
+	// full mesh of paper §3. All nodes of a deployment must share the same
+	// topology (undirected, connected), and the node exchanges values only
+	// with its neighbors (plus itself).
+	Topology Topology
+	// AllowSubBound skips the n > bound(f) resilience check. The
+	// lower-bound experiments run deliberately under-provisioned systems;
+	// every other deployment should fail fast instead of silently
+	// diverging.
+	AllowSubBound bool
 	// Crash selects omission behaviour (instead of Byzantine values) for
 	// occupied nodes.
 	Crash bool
@@ -129,7 +189,12 @@ type Config struct {
 	FixedRounds int
 }
 
-// Validate checks the node configuration.
+// Validate checks the node configuration. Deployments at or below the
+// model's Table 2 replica bound are rejected with the same typed
+// *mobile.BoundError the core engine's CheckSystem returns, unless
+// AllowSubBound opts into the lower-bound regime. A SizedSchedule that
+// disagrees with the cluster size is rejected here, before any message
+// flows.
 func (c Config) Validate() error {
 	switch {
 	case c.N <= 0 || c.ID < 0 || c.ID >= c.N:
@@ -149,24 +214,70 @@ func (c Config) Validate() error {
 	case c.Schedule == nil:
 		return fmt.Errorf("cluster: nil schedule (use NoFaults{})")
 	}
+	if !c.AllowSubBound {
+		if err := mobile.CheckSystem(c.Model, c.N, c.F); err != nil {
+			return err
+		}
+	}
+	if sized, ok := c.Schedule.(SizedSchedule); ok {
+		if err := sized.ValidateFor(c.N); err != nil {
+			return err
+		}
+	}
+	if c.Topology != nil {
+		if c.Topology.Size() != c.N {
+			return fmt.Errorf("cluster: topology has %d nodes, deployment has n=%d", c.Topology.Size(), c.N)
+		}
+		tau := c.Model.Trim(c.F)
+		for id := 0; id < c.N; id++ {
+			if deg := len(c.Topology.Neighbors(id)); deg+1 <= 2*tau {
+				return fmt.Errorf("cluster: node %d has degree %d; trimming 2τ=%d values needs degree+1 > 2τ",
+					id, deg, 2*tau)
+			}
+		}
+		if !ConnectedOf(c.Topology) {
+			return fmt.Errorf("cluster: disconnected topology; global agreement needs a connected graph")
+		}
+	}
 	return nil
 }
 
 // Rounds returns the number of rounds the node will run: FixedRounds if
 // set, otherwise ⌈log(ε/range)/log(C)⌉ from the algorithm's guaranteed
-// contraction. It returns an error when the algorithm offers no guarantee
-// (Median) and no FixedRounds was given.
+// contraction. On a partial topology the multiset a node votes on has only
+// MinDegree+1 entries and information needs Diameter hops to cross the
+// graph, so the horizon becomes sweeps × Diameter: the per-sweep count is
+// computed at the reduced multiset size with the contraction floored at
+// 1/2, because a full-mesh contraction of 0 ("identical multisets agree
+// exactly in one round") assumes full information and does not hold when
+// neighborhoods differ. This is an engineering horizon — the paper's
+// contraction theorem covers the full mesh only — but it is deterministic
+// from the shared config, so every node halts together, and the harness
+// reports the measured verdict either way. It returns an error when the
+// algorithm offers no guarantee (Median) and no FixedRounds was given.
 func (c Config) Rounds() (int, error) {
 	if c.FixedRounds > 0 {
 		return c.FixedRounds, nil
 	}
 	m := c.N
+	stretch := 1
+	t, partial := c.partialTopology()
+	if partial {
+		m = MinDegreeOf(t) + 1
+		stretch = DiameterOf(t)
+		if stretch < 1 {
+			return 0, errors.New("cluster: disconnected topology")
+		}
+	}
 	if c.Model == mobile.M1Garay {
-		m = c.N - c.F
+		m -= c.F
 	}
 	contraction, ok := c.Algorithm.Contraction(m, c.Model.Trim(c.F), c.Model.AsymmetricSenders(c.F))
 	if !ok {
 		return 0, errors.New("cluster: algorithm has no contraction guarantee; set FixedRounds")
+	}
+	if partial && contraction < 0.5 {
+		contraction = 0.5
 	}
 	r, err := msr.RequiredRounds(c.InputRange, c.Epsilon, contraction)
 	if err != nil {
@@ -175,7 +286,45 @@ func (c Config) Rounds() (int, error) {
 	if r < 1 {
 		r = 1
 	}
-	return r, nil
+	return r * stretch, nil
+}
+
+// partialTopology returns the configured topology when it is a genuine
+// restriction (not nil and not the full mesh). It works on the Topology
+// interface so custom implementations get the same partial-graph horizon
+// as the built-in Graph.
+func (c Config) partialTopology() (Topology, bool) {
+	if c.Topology == nil {
+		return nil, false
+	}
+	if MinDegreeOf(c.Topology) == c.N-1 {
+		return nil, false // full mesh in disguise
+	}
+	return c.Topology, true
+}
+
+// NodeStats counts one node's transport-level activity over a run: the
+// observability surface of a deployment (the distributed system has no
+// omniscient observer, so per-node counters are what operators get).
+type NodeStats struct {
+	// Sent and Received count protocol messages handed to, and accepted
+	// from, the link (including the self-delivered value).
+	Sent, Received int64
+	// Omissions counts missing values: explicit omission markers plus
+	// senders missing at the round deadline.
+	Omissions int64
+	// Rejected counts frames dropped before reaching the protocol:
+	// messages from non-neighbor senders here, plus the link layer's
+	// authentication, replay and misdirection drops on TCP links.
+	Rejected int64
+}
+
+// linkCounters is implemented by transports that count their own drops
+// (TCPNode); the node folds them into its Rejected stat.
+type linkCounters interface {
+	AuthFailures() int64
+	ReplayDrops() int64
+	MisdirectDrops() int64
 }
 
 // Node is one cluster member.
@@ -184,12 +333,19 @@ type Node struct {
 	link   transport.Link
 	tau    int
 	vote   float64
+	dests  []int                       // send targets in ascending order (neighbors + self)
+	inNbr  []bool                      // expected senders (neighbors + self)
+	expect int                         // len(dests)
 	buffer map[int][]transport.Message // round → early messages
 
-	// Per-round receive scratch, recycled across rounds so the protocol
-	// loop does not allocate per round: slots[s] holds the message of
-	// sender s (seen[s] marks arrival), values accumulates the non-omitted
-	// round values handed to the voting function, which may reorder it.
+	stats NodeStats
+
+	// Per-round scratch, recycled across rounds so the protocol loop does
+	// not allocate per round: out is the send phase's message batch,
+	// slots[s] holds the message of sender s (seen[s] marks arrival),
+	// values accumulates the non-omitted round values handed to the voting
+	// function, which may reorder it.
+	out    []transport.Message
 	slots  []transport.Message
 	seen   []bool
 	values []float64
@@ -203,35 +359,79 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 	if link == nil {
 		return nil, errors.New("cluster: nil link")
 	}
-	return &Node{
+	nd := &Node{
 		cfg:    cfg,
 		link:   link,
 		tau:    cfg.Model.Trim(cfg.F),
 		vote:   cfg.Input,
 		buffer: make(map[int][]transport.Message),
+		inNbr:  make([]bool, cfg.N),
 		slots:  make([]transport.Message, cfg.N),
 		seen:   make([]bool, cfg.N),
-		values: make([]float64, 0, cfg.N),
-	}, nil
+	}
+	if cfg.Topology != nil {
+		nbrs := cfg.Topology.Neighbors(cfg.ID)
+		nd.dests = make([]int, 0, len(nbrs)+1)
+		placed := false
+		for _, j := range nbrs {
+			if !placed && j > cfg.ID {
+				nd.dests = append(nd.dests, cfg.ID)
+				placed = true
+			}
+			nd.dests = append(nd.dests, j)
+		}
+		if !placed {
+			nd.dests = append(nd.dests, cfg.ID)
+		}
+	} else {
+		nd.dests = make([]int, cfg.N)
+		for i := range nd.dests {
+			nd.dests[i] = i
+		}
+	}
+	nd.expect = len(nd.dests)
+	for _, j := range nd.dests {
+		nd.inNbr[j] = true
+	}
+	nd.out = make([]transport.Message, 0, nd.expect)
+	nd.values = make([]float64, 0, nd.expect)
+	return nd, nil
 }
 
-// Run executes the protocol and returns this node's decision. It blocks
-// until the locally computed round count has elapsed; the caller runs one
-// goroutine per node and joins them.
-func (nd *Node) Run() (float64, error) {
+// Stats returns the node's transport counters so far (valid after Run; not
+// synchronized with a concurrently executing Run).
+func (nd *Node) Stats() NodeStats {
+	s := nd.stats
+	if lc, ok := nd.link.(linkCounters); ok {
+		s.Rejected += lc.AuthFailures() + lc.ReplayDrops() + lc.MisdirectDrops()
+	}
+	return s
+}
+
+// Run executes the protocol and returns this node's decision, as
+// RunContext without cancellation.
+func (nd *Node) Run() (float64, error) { return nd.RunContext(context.Background()) }
+
+// RunContext executes the protocol and returns this node's decision. It
+// blocks until the locally computed round count has elapsed or ctx is
+// cancelled; the caller runs one goroutine per node and joins them.
+func (nd *Node) RunContext(ctx context.Context) (float64, error) {
 	rounds, err := nd.cfg.Rounds()
 	if err != nil {
 		return 0, err
 	}
 	occupiedPrev := false
 	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		occupied := contains(nd.cfg.Schedule.Occupied(r), nd.cfg.ID)
 		cured := occupiedPrev && !occupied
 
 		if err := nd.send(r, occupied, cured); err != nil {
 			return 0, err
 		}
-		values, err := nd.collect(r)
+		values, err := nd.collect(ctx, r)
 		if err != nil {
 			return 0, err
 		}
@@ -258,9 +458,13 @@ func (nd *Node) Run() (float64, error) {
 	return nd.vote, nil
 }
 
-// send broadcasts this round's messages according to the node's role.
+// send broadcasts this round's messages according to the node's role: the
+// whole send phase is built into one batch and handed to the link in a
+// single call when it supports batching (one lock/write cycle per round
+// instead of one per message on the TCP path).
 func (nd *Node) send(round int, occupied, cured bool) error {
-	for to := 0; to < nd.cfg.N; to++ {
+	nd.out = nd.out[:0]
+	for _, to := range nd.dests {
 		m := transport.Message{Round: round, To: to, Value: nd.vote}
 		switch {
 		case occupied && nd.cfg.Crash:
@@ -302,29 +506,45 @@ func (nd *Node) send(round int, occupied, cured bool) error {
 				// M4: cured nodes behave correctly.
 			}
 		}
-		if err := nd.link.Send(m); err != nil {
-			return fmt.Errorf("cluster: node %d send round %d: %w", nd.cfg.ID, round, err)
+		nd.out = append(nd.out, m)
+	}
+	var err error
+	if bs, ok := nd.link.(transport.BatchSender); ok {
+		err = bs.SendBatch(nd.out)
+	} else {
+		for _, m := range nd.out {
+			if err = nd.link.Send(m); err != nil {
+				break
+			}
 		}
 	}
+	if err != nil {
+		return fmt.Errorf("cluster: node %d send round %d: %w", nd.cfg.ID, round, err)
+	}
+	nd.stats.Sent += int64(len(nd.out))
 	return nil
 }
 
-// collect gathers this round's values until all n senders reported or the
-// deadline passed. Early messages for future rounds are buffered; stale
-// messages are dropped.
-func (nd *Node) collect(round int) ([]float64, error) {
+// collect gathers this round's values until all expected senders reported
+// or the deadline passed. Early messages for future rounds are buffered;
+// stale messages are dropped; messages from senders outside the node's
+// neighborhood are rejected.
+func (nd *Node) collect(ctx context.Context, round int) ([]float64, error) {
 	count := 0
 	for i := range nd.seen {
 		nd.seen[i] = false
 	}
 	record := func(m transport.Message) {
 		// The transport layer validates sender ids at send time; drop
-		// anything out of range defensively rather than trusting it.
-		if m.From < 0 || m.From >= nd.cfg.N {
+		// anything out of range — or outside the neighbor graph —
+		// defensively rather than trusting it.
+		if m.From < 0 || m.From >= nd.cfg.N || !nd.inNbr[m.From] {
+			nd.stats.Rejected++
 			return
 		}
 		if !nd.seen[m.From] {
 			count++
+			nd.stats.Received++
 		}
 		nd.seen[m.From] = true
 		nd.slots[m.From] = m
@@ -336,7 +556,7 @@ func (nd *Node) collect(round int) ([]float64, error) {
 
 	deadline := time.NewTimer(nd.cfg.RoundTimeout)
 	defer deadline.Stop()
-	for count < nd.cfg.N {
+	for count < nd.expect {
 		select {
 		case m, ok := <-nd.link.Recv():
 			if !ok {
@@ -352,7 +572,10 @@ func (nd *Node) collect(round int) ([]float64, error) {
 			}
 		case <-deadline.C:
 			// Missing senders become detected omissions (benign).
+			nd.stats.Omissions += int64(nd.expect - count)
 			goto done
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 done:
@@ -363,6 +586,8 @@ done:
 		}
 		if m := nd.slots[s]; !m.Omitted && !math.IsNaN(m.Value) {
 			values = append(values, m.Value)
+		} else {
+			nd.stats.Omissions++
 		}
 	}
 	return values, nil
@@ -398,41 +623,68 @@ func HonestAtEnd(s FaultSchedule, rounds, n int) []bool {
 	return honest
 }
 
+// Outcome is one node's result in a RunCluster deployment.
+type Outcome struct {
+	Value float64
+	Stats NodeStats
+}
+
 // RunCluster is the test/demo harness: it builds n nodes over the given
 // links, runs them concurrently, and returns their decisions. The links
 // slice must come from one mesh (transport.Channel.Link or NewTCPMesh).
-func RunCluster(cfgs []Config, links []transport.Link) ([]float64, error) {
+// Cancelling ctx aborts every node at its next receive or round boundary.
+func RunCluster(ctx context.Context, cfgs []Config, links []transport.Link) ([]float64, error) {
+	outcomes, err := RunClusterOutcomes(ctx, cfgs, links)
+	if err != nil {
+		return nil, err
+	}
+	decisions := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		decisions[i] = o.Value
+	}
+	return decisions, nil
+}
+
+// RunClusterOutcomes is RunCluster with per-node transport stats included.
+func RunClusterOutcomes(ctx context.Context, cfgs []Config, links []transport.Link) ([]Outcome, error) {
 	if len(cfgs) != len(links) {
 		return nil, fmt.Errorf("cluster: %d configs for %d links", len(cfgs), len(links))
 	}
-	n := len(cfgs)
-	type outcome struct {
-		id    int
-		value float64
-		err   error
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	results := make(chan outcome, n)
+	n := len(cfgs)
+	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node, err := NewNode(cfgs[i], links[i])
 		if err != nil {
 			return nil, err
 		}
+		nodes[i] = node
+	}
+	type result struct {
+		id    int
+		value float64
+		err   error
+	}
+	results := make(chan result, n)
+	for i, node := range nodes {
 		go func(id int, nd *Node) {
-			v, err := nd.Run()
-			results <- outcome{id: id, value: v, err: err}
+			v, err := nd.RunContext(ctx)
+			results <- result{id: id, value: v, err: err}
 		}(i, node)
 	}
-	decisions := make([]float64, n)
+	outcomes := make([]Outcome, n)
 	var firstErr error
 	for i := 0; i < n; i++ {
 		o := <-results
 		if o.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("node %d: %w", o.id, o.err)
 		}
-		decisions[o.id] = o.value
+		outcomes[o.id] = Outcome{Value: o.value, Stats: nodes[o.id].Stats()}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return decisions, nil
+	return outcomes, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -65,7 +66,7 @@ func TestClusterHonestRun(t *testing.T) {
 	links, closeHub := channelLinks(t, n)
 	defer closeHub()
 	cfgs := buildConfigs(n, f, mobile.M4Buhrman, NoFaults{}, false, 10, 11)
-	decisions, err := RunCluster(cfgs, links)
+	decisions, err := RunCluster(context.Background(), cfgs, links)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestClusterWithMobileFaultsPerModel(t *testing.T) {
 			links, closeHub := channelLinks(t, n)
 			defer closeHub()
 			cfgs := buildConfigs(n, f, model, RotatingFaults{N: n, F: f}, false, 5, 6)
-			decisions, err := RunCluster(cfgs, links)
+			decisions, err := RunCluster(context.Background(), cfgs, links)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +117,7 @@ func TestClusterCrashFaults(t *testing.T) {
 	links, closeHub := channelLinks(t, n)
 	defer closeHub()
 	cfgs := buildConfigs(n, f, mobile.M1Garay, CrashFaults{N: n, F: f}, true, 0, 1)
-	decisions, err := RunCluster(cfgs, links)
+	decisions, err := RunCluster(context.Background(), cfgs, links)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestClusterOverTCP(t *testing.T) {
 		links[i] = nodes[i]
 	}
 	cfgs := buildConfigs(n, f, mobile.M2Bonnet, RotatingFaults{N: n, F: f}, false, 100, 101)
-	decisions, err := RunCluster(cfgs, links)
+	decisions, err := RunCluster(context.Background(), cfgs, links)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestHonestAtEnd(t *testing.T) {
 func TestRunClusterValidation(t *testing.T) {
 	links, closeHub := channelLinks(t, 2)
 	defer closeHub()
-	if _, err := RunCluster(make([]Config, 3), links); err == nil {
+	if _, err := RunCluster(context.Background(), make([]Config, 3), links); err == nil {
 		t.Error("mismatched configs/links accepted")
 	}
 	if _, err := NewNode(Config{}, links[0]); err == nil {

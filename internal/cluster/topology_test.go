@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/transport"
+)
+
+// assertUndirected checks the structural invariants every Topology must
+// hold: sorted neighbor lists, no self-loops, symmetric edges.
+func assertUndirected(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.Size()
+	for i := 0; i < n; i++ {
+		prev := -1
+		for _, j := range g.Neighbors(i) {
+			if j <= prev {
+				t.Fatalf("node %d neighbors not strictly ascending: %v", i, g.Neighbors(i))
+			}
+			prev = j
+			if j == i {
+				t.Fatalf("node %d lists itself", i)
+			}
+			if !containsSorted(g.Neighbors(j), i) {
+				t.Fatalf("edge %d→%d has no reverse", i, j)
+			}
+		}
+	}
+}
+
+func TestFullMeshTopology(t *testing.T) {
+	g := FullMesh(6)
+	assertUndirected(t, g)
+	if g.MinDegree() != 5 || g.Diameter() != 1 || !g.Connected() {
+		t.Errorf("mesh: mindeg=%d diam=%d connected=%v", g.MinDegree(), g.Diameter(), g.Connected())
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	g, err := Ring(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertUndirected(t, g)
+	if g.MinDegree() != 4 {
+		t.Errorf("ring(10,2) mindeg = %d, want 4", g.MinDegree())
+	}
+	if got := g.Diameter(); got != 3 {
+		t.Errorf("ring(10,2) diameter = %d, want 3", got) // ceil(5/2)
+	}
+	if want := []int{1, 2, 8, 9}; !reflect.DeepEqual(g.Neighbors(0), want) {
+		t.Errorf("ring neighbors(0) = %v, want %v", g.Neighbors(0), want)
+	}
+	for _, bad := range [][2]int{{5, 0}, {4, 2}, {3, 2}} {
+		if _, err := Ring(bad[0], bad[1]); err == nil {
+			t.Errorf("Ring(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestRandomRegularTopology(t *testing.T) {
+	for _, tc := range [][2]int{{8, 3}, {16, 4}, {20, 8}, {64, 6}} {
+		n, d := tc[0], tc[1]
+		g, err := RandomRegular(n, d, 7)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", n, d, err)
+		}
+		assertUndirected(t, g)
+		for i := 0; i < n; i++ {
+			if g.Degree(i) != d {
+				t.Fatalf("regular(%d,%d): node %d has degree %d", n, d, i, g.Degree(i))
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("regular(%d,%d) disconnected", n, d)
+		}
+	}
+	// Deterministic in the seed; different seeds give different wirings.
+	a, _ := RandomRegular(16, 4, 1)
+	b, _ := RandomRegular(16, 4, 1)
+	c, _ := RandomRegular(16, 4, 2)
+	if !reflect.DeepEqual(a.adj, b.adj) {
+		t.Error("same seed produced different graphs")
+	}
+	if reflect.DeepEqual(a.adj, c.adj) {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+	// Parameter validation.
+	for _, bad := range [][2]int{{5, 1}, {4, 4}, {5, 3}} {
+		if _, err := RandomRegular(bad[0], bad[1], 0); err == nil {
+			t.Errorf("RandomRegular(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph("x", [][]int{{1}, {0}}); err != nil {
+		t.Errorf("valid 2-path rejected: %v", err)
+	}
+	bad := [][][]int{
+		{},            // empty
+		{{1}, {}},     // missing reverse edge
+		{{0}},         // self-loop
+		{{1, 1}, {0}}, // duplicate
+		{{2}, {}},     // out of range
+	}
+	for i, adj := range bad {
+		if _, err := NewGraph("x", adj); err == nil {
+			t.Errorf("bad graph %d accepted", i)
+		}
+	}
+	// Disconnected graphs construct but report it.
+	g, err := NewGraph("pair", [][]int{{1}, {0}, {3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() || g.Diameter() != -1 {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+// partialConfigs builds configs over a shared topology.
+func partialConfigs(n, f int, model mobile.Model, schedule FaultSchedule, topo Topology, rounds int, lo, hi float64) []Config {
+	cfgs := buildConfigs(n, f, model, schedule, false, lo, hi)
+	for i := range cfgs {
+		cfgs[i].Topology = topo
+		cfgs[i].FixedRounds = rounds
+	}
+	return cfgs
+}
+
+// TestClusterRingHonest: honest agreement over a partial topology, with
+// the round horizon computed locally (no FixedRounds).
+func TestClusterRingHonest(t *testing.T) {
+	const n = 12
+	g, err := Ring(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, closeHub := channelLinks(t, n)
+	defer closeHub()
+	cfgs := partialConfigs(n, 0, mobile.M4Buhrman, NoFaults{}, g, 0, 3, 4)
+	decisions, err := RunCluster(context.Background(), cfgs, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spread(decisions, nil); got > 1e-3 {
+		t.Errorf("ring honest spread %g > ε", got)
+	}
+	for _, v := range decisions {
+		if v < 3 || v > 4 {
+			t.Errorf("decision %g outside input range", v)
+		}
+	}
+}
+
+// TestClusterRegularRotating: a rotating mobile fault on a random-regular
+// graph still reaches ε-agreement among the honest nodes when every
+// neighborhood can absorb the trim.
+func TestClusterRegularRotating(t *testing.T) {
+	const n, f, rounds = 14, 1, 60
+	g, err := RandomRegular(n, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, closeHub := channelLinks(t, n)
+	defer closeHub()
+	cfgs := partialConfigs(n, f, mobile.M1Garay, RotatingFaults{N: n, F: f}, g, rounds, 5, 6)
+	decisions, err := RunCluster(context.Background(), cfgs, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := HonestAtEnd(cfgs[0].Schedule, rounds, n)
+	if got := spread(decisions, honest); got > 1e-3 {
+		t.Errorf("regular-graph honest spread %g > ε", got)
+	}
+}
+
+// TestNodeRejectsNonNeighborSenders: messages from outside the neighbor
+// graph never reach the voting multiset and are counted as rejected.
+func TestNodeRejectsNonNeighborSenders(t *testing.T) {
+	const n = 6
+	g, err := Ring(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, closeHub := channelLinks(t, n)
+	defer closeHub()
+	cfgs := partialConfigs(n, 0, mobile.M4Buhrman, NoFaults{}, g, 6, 0, 1)
+	nd, err := NewNode(cfgs[0], links[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		value float64
+		err   error
+	}
+	node0 := make(chan outcome, 1)
+	go func() {
+		v, err := nd.Run()
+		node0 <- outcome{value: v, err: err}
+	}()
+	// Node 3 is not a ring neighbor of node 0: inject forged off-graph
+	// messages for every round before the other nodes even start, so they
+	// are waiting in node 0's inbox when each round opens.
+	for r := 0; r < 6; r++ {
+		if err := links[3].Send(transport.Message{Round: r, To: 0, Value: 999}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	others := make(chan error, n-1)
+	for i := 1; i < n; i++ {
+		i := i
+		go func() {
+			node, err := NewNode(cfgs[i], links[i])
+			if err != nil {
+				others <- err
+				return
+			}
+			_, err = node.Run()
+			others <- err
+		}()
+	}
+	for i := 1; i < n; i++ {
+		if err := <-others; err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := <-node0
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if st := nd.Stats(); st.Rejected == 0 {
+		t.Error("off-graph messages were not rejected")
+	}
+	if o.value < 0 || o.value > 1 {
+		t.Errorf("node 0 decided %g; the off-graph value leaked into the vote", o.value)
+	}
+}
+
+// TestConfigValidateTopologyAndBound covers the new validation surface:
+// resilience bound, schedule sizing, topology sizing and degree-vs-τ.
+func TestConfigValidateTopologyAndBound(t *testing.T) {
+	base := Config{
+		ID: 0, N: 9, F: 2, Model: mobile.M1Garay,
+		Algorithm: msr.FTM{}, InputRange: 1, Epsilon: 1e-3,
+		RoundTimeout: time.Second, Schedule: NoFaults{},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	sub := base
+	sub.N, sub.ID = 8, 0 // n = 4f: at the bound
+	if err := sub.Validate(); err == nil {
+		t.Error("sub-bound deployment accepted without AllowSubBound")
+	} else {
+		var be *mobile.BoundError
+		if !errors.As(err, &be) {
+			t.Errorf("sub-bound error %v is not *mobile.BoundError", err)
+		} else if !errors.Is(err, mobile.ErrBelowBound) {
+			t.Errorf("sub-bound error %v does not wrap ErrBelowBound", err)
+		}
+	}
+	sub.AllowSubBound = true
+	if err := sub.Validate(); err != nil {
+		t.Errorf("AllowSubBound rejected: %v", err)
+	}
+
+	mismatch := base
+	mismatch.Schedule = RotatingFaults{N: 5, F: 2} // wrong size
+	if err := mismatch.Validate(); err == nil {
+		t.Error("mismatched schedule size accepted")
+	}
+
+	pp := base
+	pp.Schedule = PingPongFaults{N: 9, F: 5} // 2f > n
+	if err := pp.Validate(); err == nil {
+		t.Error("overlapping ping-pong camps accepted")
+	}
+
+	topo := base
+	g, err := Ring(9, 1) // degree 2: multiset of 3 ≤ 2τ = 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Topology = g
+	if err := topo.Validate(); err == nil {
+		t.Error("degree too small for the trim accepted")
+	}
+
+	wrongSize := base
+	wrongSize.Topology = FullMesh(5)
+	if err := wrongSize.Validate(); err == nil {
+		t.Error("topology/deployment size mismatch accepted")
+	}
+}

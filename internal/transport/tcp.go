@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Link is a single node's view of the network: it can send authenticated
@@ -37,6 +38,15 @@ func (l *channelLink) Send(m Message) error {
 	return l.hub.Send(m)
 }
 
+// SendBatch implements BatchSender, stamping the local identity on every
+// message in place before the single hub delivery.
+func (l *channelLink) SendBatch(ms []Message) error {
+	for i := range ms {
+		ms[i].From = l.id
+	}
+	return l.hub.SendBatch(ms)
+}
+
 func (l *channelLink) Recv() <-chan Message { return l.hub.Inbox(l.id) }
 
 // Close on a channelLink is a no-op: the hub owns the resources.
@@ -58,13 +68,17 @@ type TCPNode struct {
 	wg     sync.WaitGroup
 
 	mu       sync.Mutex
-	conns    map[int]net.Conn  // outgoing, keyed by peer id
+	conns    map[int]net.Conn  // outgoing synchronous Sends, keyed by peer id
+	outs     map[int]*peerOut  // outgoing batched/pipelined writers, keyed by peer id
 	accepted map[net.Conn]bool // inbound, owned until their readLoop exits
 	down     bool
 
 	authFailures   atomic.Int64
 	replayDrops    atomic.Int64
 	misdirectDrops atomic.Int64
+	framesSent     atomic.Int64
+	framesRecv     atomic.Int64
+	batchWrites    atomic.Int64
 
 	filterMu sync.Mutex
 	filter   *replayFilter
@@ -92,6 +106,7 @@ func NewTCPNode(id, n int, ln net.Listener, addrs []string, key []byte) (*TCPNod
 		inbox:    make(chan Message, 4*n),
 		closed:   make(chan struct{}),
 		conns:    make(map[int]net.Conn, n),
+		outs:     make(map[int]*peerOut, n),
 		accepted: make(map[net.Conn]bool),
 		filter:   newReplayFilter(),
 	}
@@ -161,7 +176,61 @@ func (nd *TCPNode) Send(m Message) error {
 		delete(nd.conns, m.To)
 		return fmt.Errorf("transport: write to node %d: %w", m.To, err)
 	}
+	nd.framesSent.Add(1)
 	return nil
+}
+
+// SendBatch implements BatchSender: the whole send phase is handed over in
+// one call. Frames are encoded up front, grouped by destination, and
+// appended to per-peer outbound buffers drained by one writer goroutine per
+// peer — so the caller never blocks on a socket, and when the protocol
+// pipelines into the next round before a writer drains, consecutive rounds'
+// frames to the same peer coalesce into a single write (one write per
+// (round, peer) batch instead of one per message, fewer under load).
+//
+// Messages are stamped with the local identity in place. A peer whose
+// writer has failed reports that error on the next SendBatch naming it.
+func (nd *TCPNode) SendBatch(ms []Message) error {
+	for i := range ms {
+		if ms[i].To < 0 || ms[i].To >= nd.n {
+			return fmt.Errorf("transport: destination %d out of range [0,%d)", ms[i].To, nd.n)
+		}
+		ms[i].From = nd.id
+	}
+	for i := range ms {
+		frame, err := nd.codec.Encode(ms[i])
+		if err != nil {
+			return err
+		}
+		out, err := nd.peer(ms[i].To)
+		if err != nil {
+			return err
+		}
+		if err := out.enqueue(frame); err != nil {
+			return fmt.Errorf("transport: batch write to node %d: %w", ms[i].To, err)
+		}
+		nd.framesSent.Add(1)
+	}
+	return nil
+}
+
+// peer returns the batched-write pipeline for destination to, starting its
+// writer goroutine on first use.
+func (nd *TCPNode) peer(to int) (*peerOut, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.down {
+		return nil, ErrClosed
+	}
+	out, ok := nd.outs[to]
+	if !ok {
+		out = &peerOut{nd: nd, to: to}
+		out.cond.L = &out.mu
+		nd.outs[to] = out
+		nd.wg.Add(1)
+		go out.writeLoop()
+	}
+	return out, nil
 }
 
 // Recv implements Link.
@@ -180,6 +249,10 @@ func (nd *TCPNode) Close() error {
 	err := nd.ln.Close()
 	for _, c := range nd.conns {
 		_ = c.Close()
+	}
+	// Batched writers flush what they already hold, then exit.
+	for _, out := range nd.outs {
+		out.close()
 	}
 	// Inbound connections must be closed too: their reader goroutines
 	// otherwise block in ReadFull until the remote peer closes, which
@@ -207,6 +280,19 @@ func (nd *TCPNode) ReplayDrops() int64 { return nd.replayDrops.Load() }
 // MisdirectDrops returns how many authenticated frames named a different
 // destination.
 func (nd *TCPNode) MisdirectDrops() int64 { return nd.misdirectDrops.Load() }
+
+// FramesSent returns how many frames this node handed to the network
+// (synchronous Sends plus batched sends).
+func (nd *TCPNode) FramesSent() int64 { return nd.framesSent.Load() }
+
+// FramesReceived returns how many inbound frames passed authentication,
+// destination and replay checks and reached the inbox.
+func (nd *TCPNode) FramesReceived() int64 { return nd.framesRecv.Load() }
+
+// BatchWrites returns how many socket writes the batched path performed.
+// Compare with FramesSent: the ratio is the coalescing factor the pipeline
+// achieved (frames per write).
+func (nd *TCPNode) BatchWrites() int64 { return nd.batchWrites.Load() }
 
 func (nd *TCPNode) acceptLoop() {
 	defer nd.wg.Done()
@@ -266,15 +352,130 @@ func (nd *TCPNode) readLoop(conn net.Conn) {
 		}
 		select {
 		case nd.inbox <- m:
+			nd.framesRecv.Add(1)
 		case <-nd.closed:
 			return
 		}
 	}
 }
 
+// peerOut is the outbound pipeline to one peer: callers append encoded
+// frames to pending under mu; a dedicated writer goroutine swaps the buffer
+// out and writes it in one call. pending and spare double-buffer so the
+// steady state allocates nothing.
+type peerOut struct {
+	nd *TCPNode
+	to int
+
+	mu      sync.Mutex
+	cond    sync.Cond // waits on mu; signalled on enqueue and close
+	pending []byte
+	conn    net.Conn // writer's dialed connection, tracked so close can bound it
+	err     error
+	closed  bool
+
+	spare []byte // writer-owned: the previously written buffer, recycled
+}
+
+// Dial and post-close flush bounds for the batch writers: Close must never
+// wait unboundedly on a peer that stopped reading or an address that
+// drops SYNs.
+const (
+	peerDialTimeout = 5 * time.Second
+	peerCloseGrace  = 2 * time.Second
+)
+
+// enqueue appends one frame for the writer to pick up. It fails fast with
+// the writer's terminal error once the pipeline is broken.
+func (p *peerOut) enqueue(frame []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.err != nil:
+		return p.err
+	case p.closed:
+		return ErrClosed
+	}
+	p.pending = append(p.pending, frame...)
+	p.cond.Signal()
+	return nil
+}
+
+// close asks the writer to flush what is pending and exit. A write already
+// in flight (or a final flush) is bounded by a connection deadline, so the
+// node's Close never blocks behind a peer that stopped reading.
+func (p *peerOut) close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.conn != nil {
+		_ = p.conn.SetDeadline(time.Now().Add(peerCloseGrace))
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// fail records the pipeline's terminal error and discards pending frames —
+// once a write failed, frame boundaries on the connection are unknown and
+// retrying would desynchronize the stream.
+func (p *peerOut) fail(err error) {
+	p.mu.Lock()
+	p.err = err
+	p.pending = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// writeLoop dials the peer lazily and drains the pending buffer, one write
+// per accumulated batch.
+func (p *peerOut) writeLoop() {
+	defer p.nd.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		p.mu.Lock()
+		for len(p.pending) == 0 && !p.closed && p.err == nil {
+			p.cond.Wait()
+		}
+		if p.err != nil || (p.closed && len(p.pending) == 0) {
+			p.mu.Unlock()
+			return
+		}
+		buf := p.pending
+		p.pending = p.spare[:0]
+		p.mu.Unlock()
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", p.nd.addrs[p.to], peerDialTimeout)
+			if err != nil {
+				p.fail(fmt.Errorf("transport: dial node %d: %w", p.to, err))
+				return
+			}
+			conn = c
+			p.mu.Lock()
+			p.conn = c
+			if p.closed {
+				_ = c.SetDeadline(time.Now().Add(peerCloseGrace))
+			}
+			p.mu.Unlock()
+		}
+		if _, err := conn.Write(buf); err != nil {
+			p.fail(fmt.Errorf("transport: write to node %d: %w", p.to, err))
+			return
+		}
+		p.nd.batchWrites.Add(1)
+		p.spare = buf // safe: only the writer touches spare, after the write
+	}
+}
+
 var (
-	_ Link = (*TCPNode)(nil)
-	_ Link = (*channelLink)(nil)
+	_ Link        = (*TCPNode)(nil)
+	_ Link        = (*channelLink)(nil)
+	_ BatchSender = (*TCPNode)(nil)
+	_ BatchSender = (*channelLink)(nil)
+	_ BatchSender = (*Channel)(nil)
 )
 
 // replayFilter remembers (from, round, seq) tuples within a sliding round

@@ -25,6 +25,25 @@ type Transport interface {
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("transport: closed")
 
+// BatchSender is implemented by links that can accept a whole send phase at
+// once. A lockstep protocol produces its n outbound messages together;
+// handing them to the transport in one call lets the TCP path amortize
+// locking, group frames by destination, and coalesce consecutive rounds
+// into one socket write per peer (see TCPNode.SendBatch).
+//
+// Within the batch path, delivery to each peer is FIFO in enqueue order.
+// On the TCP transport the batch path and the synchronous Send path use
+// separate connections, so a caller that MIXES Send and SendBatch to the
+// same peer gets no ordering guarantee between the two streams (and
+// cross-stream reordering can trip the receiver's cross-round replay
+// window). Use one path per link — the cluster protocol always batches.
+type BatchSender interface {
+	// SendBatch delivers every message in ms. It reports the first error
+	// encountered; earlier messages may already have been handed to the
+	// network when it fails.
+	SendBatch(ms []Message) error
+}
+
 // Channel is the in-memory Transport: per-node inbox channels with
 // capacity n·capFactor, modelling instantaneous reliable links.
 type Channel struct {
@@ -66,6 +85,25 @@ func (c *Channel) Send(m Message) error {
 	// an inbox mid-delivery; capacity is sized so lockstep protocols
 	// never block here.
 	c.inboxes[m.To] <- m
+	return nil
+}
+
+// SendBatch implements BatchSender: one lock acquisition for the whole
+// send phase instead of one per message.
+func (c *Channel) SendBatch(ms []Message) error {
+	for _, m := range ms {
+		if m.To < 0 || m.To >= c.n || m.From < 0 || m.From >= c.n {
+			return fmt.Errorf("transport: send %d->%d out of range [0,%d)", m.From, m.To, c.n)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	for _, m := range ms {
+		c.inboxes[m.To] <- m
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 var testKey = []byte("test-key")
@@ -260,6 +261,92 @@ func TestTCPValidation(t *testing.T) {
 	defer closeAll(t, nodes)
 	if err := nodes[0].Send(Message{To: 9}); err == nil {
 		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestChannelSendBatch(t *testing.T) {
+	hub, err := NewChannel(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	link := hub.Link(0)
+	bs, ok := link.(BatchSender)
+	if !ok {
+		t.Fatal("channel link does not implement BatchSender")
+	}
+	batch := []Message{
+		{To: 1, Round: 0, Value: 1},
+		{To: 2, Round: 0, Value: 2},
+		{To: 0, Round: 0, Value: 3}, // self-delivery
+	}
+	if err := bs.SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range batch {
+		got := <-hub.Inbox(m.To)
+		if got.From != 0 || got.Value != m.Value {
+			t.Errorf("inbox %d received %+v", m.To, got)
+		}
+	}
+	if err := bs.SendBatch([]Message{{To: 9}}); err == nil {
+		t.Error("out-of-range batch accepted")
+	}
+	_ = hub.Close()
+	if err := bs.SendBatch([]Message{{To: 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("batch after close err = %v", err)
+	}
+}
+
+// TestTCPSendBatch: a batched send phase reaches every destination in
+// order, with frames to one peer coalescing into fewer socket writes than
+// messages.
+func TestTCPSendBatch(t *testing.T) {
+	nodes, err := NewTCPMesh(3, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		batch := []Message{
+			{To: 1, Round: r, Value: float64(r)},
+			{To: 2, Round: r, Value: float64(-r)},
+			{To: 0, Round: r, Value: 0.5},
+		}
+		if err := nodes[0].SendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain all three inboxes (self-delivery included) so every peer's
+	// writer provably flushed before the counters are read.
+	for to := 0; to <= 2; to++ {
+		for r := 0; r < rounds; r++ {
+			select {
+			case m := <-nodes[to].Recv():
+				if m.From != 0 || m.Round != r {
+					t.Fatalf("node %d received %+v, want round %d from 0 (order preserved)", to, m, r)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatalf("node %d: round %d never arrived", to, r)
+			}
+		}
+	}
+	if got := nodes[0].FramesSent(); got != 3*rounds {
+		t.Errorf("FramesSent = %d, want %d", got, 3*rounds)
+	}
+	// Coalescing: the writer can never need more writes than frames, and
+	// at least one write per peer happened.
+	if w := nodes[0].BatchWrites(); w < 3 || w > 3*rounds {
+		t.Errorf("BatchWrites = %d outside [3, %d]", w, 3*rounds)
+	}
+	if err := nodes[0].SendBatch([]Message{{To: 7}}); err == nil {
+		t.Error("out-of-range batch destination accepted")
+	}
+	_ = nodes[0].Close()
+	if err := nodes[0].SendBatch([]Message{{To: 1, Round: 0}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("batch after close err = %v", err)
 	}
 }
 
