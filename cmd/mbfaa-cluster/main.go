@@ -26,6 +26,7 @@ import (
 
 	"mbfaa"
 	"mbfaa/internal/prng"
+	"mbfaa/internal/prof"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		subBound  = flag.Bool("allow-sub-bound", false, "deploy below the model's n > kf resilience bound (lower-bound experiments)")
 		showSpec  = flag.Bool("spec", false, "print the deployment's ClusterSpec as JSON and exit")
 		showStats = flag.Bool("stats", false, "print per-node transport counters")
+		profFlags = prof.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -102,12 +104,29 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// The profiles cover the deployment run; the heap profile is written
+	// after the report prints. Every exit path after Start flushes
+	// explicitly — log.Fatal and os.Exit bypass defers, and an interrupted
+	// run is exactly when a CPU profile is wanted (an unflushed one has no
+	// trailer and is unreadable by pprof).
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := func(v ...any) {
+		if perr := stopProf(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatal(v...)
+	}
+
 	res, err := dep.Run(ctx)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			log.Fatal("interrupted")
+			fatal("interrupted")
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	decided := 0
@@ -126,6 +145,9 @@ func main() {
 			fmt.Printf("  node %-3d sent=%-6d received=%-6d omissions=%-5d rejected=%d\n",
 				id, st.Sent, st.Received, st.Omissions, st.Rejected)
 		}
+	}
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 	if !res.Converged {
 		os.Exit(1)

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"mbfaa"
+	"mbfaa/internal/prof"
+)
+
+func TestModelByShort(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want mbfaa.Model
+	}{
+		{"M1", mbfaa.M1}, {"m2", mbfaa.M2}, {"M3", mbfaa.M3}, {"m4", mbfaa.M4},
+	} {
+		got, err := modelByShort(tc.in)
+		if err != nil {
+			t.Errorf("modelByShort(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("modelByShort(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "M5", "garay", "M"} {
+		if _, err := modelByShort(bad); err == nil {
+			t.Errorf("modelByShort(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if got := orDefault("", "memory"); got != "memory" {
+		t.Errorf("orDefault(\"\") = %q", got)
+	}
+	if got := orDefault("tcp", "memory"); got != "tcp" {
+		t.Errorf("orDefault(\"tcp\") = %q", got)
+	}
+}
+
+// TestProfilingFlags covers the -cpuprofile/-memprofile pair main registers
+// on flag.CommandLine, mirroring the mbfaa-sweep coverage.
+func TestProfilingFlags(t *testing.T) {
+	fs := flag.NewFlagSet("mbfaa-cluster", flag.ContinueOnError)
+	pf := prof.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-memprofile", "heap.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if pf.CPU != "" || pf.Mem != "heap.out" {
+		t.Errorf("profiling flags parsed to %+v", *pf)
+	}
+}

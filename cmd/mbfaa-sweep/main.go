@@ -22,6 +22,7 @@ import (
 
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
+	"mbfaa/internal/prof"
 	"mbfaa/internal/sweep"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		eps        = flag.Float64("eps", 1e-3, "agreement tolerance")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all cores); results are identical for any value")
+		profFlags  = prof.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -65,6 +67,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The profiles cover the sweep itself; the heap profile is written
+	// once the grid finishes — including on interrupt or sweep failure
+	// (log.Fatal exits without running defers, so every exit after Start
+	// flushes explicitly; an unflushed CPU profile has no trailer and is
+	// unreadable by pprof).
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := func(v ...any) {
+		if perr := stopProf(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatal(v...)
+	}
+
 	opt := sweep.DefaultOptions()
 	opt.Epsilon = *eps
 	opt.Seed = *seed
@@ -74,9 +92,9 @@ func main() {
 	res, err := sweep.Table2(fs, algo, opt)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			log.Fatal("interrupted")
+			fatal("interrupted")
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 	res.Cells = filterCells(res.Cells, models, *width)
 
@@ -90,7 +108,10 @@ func main() {
 	case "table":
 		fmt.Print(res.Render())
 	default:
-		log.Fatalf("unknown format %q (have table, csv)", *format)
+		fatal(fmt.Sprintf("unknown format %q (have table, csv)", *format))
+	}
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 }
 

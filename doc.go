@@ -75,6 +75,27 @@
 // entry point is asserted against it, so no optimization or API layer can
 // silently change protocol semantics.
 //
+// # The base+patch round kernel
+//
+// The simulation hot path executes each round in a factored representation
+// rather than an n×n observation matrix: symmetric senders (correct
+// processes and M2-cured rebroadcasters) send one value to everybody, so
+// their contributions form a single base sorted once per round, while the
+// asymmetric senders (faulty processes and M3-cured poisoned queues — at
+// most 2f) contribute a per-receiver patch of value-or-omission entries.
+// A receiver's vote is its O(f) patch sorted and merged linearly into the
+// shared base, with the MSR reduction applied over the merged sequence.
+// Round cost is O(n log n + n·(n + f log f)) instead of O(n² log n).
+//
+// The kernel is bit-exact by construction: the merge emits the same
+// ascending sequence the per-receiver full sort produced, and the voting
+// function consumes it with the same left-to-right summation (no sums are
+// re-associated), so the determinism guarantee above is unaffected — the
+// golden digests were recorded on the pre-kernel engine and still hold.
+// Runs with an OnRound callback keep the full matrix representation (the
+// snapshot path), which doubles as the kernel's naive cross-check
+// reference in internal/proptest.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record, and the examples/ directory for runnable
 // scenarios (sensor fusion, clock synchronization, robot gathering).

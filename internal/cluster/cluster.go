@@ -342,13 +342,22 @@ type Node struct {
 
 	// Per-round scratch, recycled across rounds so the protocol loop does
 	// not allocate per round: out is the send phase's message batch,
-	// slots[s] holds the message of sender s (seen[s] marks arrival),
-	// values accumulates the non-omitted round values handed to the voting
-	// function, which may reorder it.
+	// slots[s] holds the message of sender s (seen[s] marks arrival).
+	// The computation phase runs through the base+patch kernel: the
+	// deterministic schedule tells every node which senders are
+	// asymmetric this round (occupied nodes, and M3-cured poisoned
+	// queues), so received values split into a symmetric base and an
+	// O(f) patch — on a partial topology the base is naturally restricted
+	// to the node's neighbors+self, since only their values arrive. The
+	// kernel sorts both sides and merges them (msr.Kernel.Vote), which
+	// may reorder the buffers.
 	out    []transport.Message
 	slots  []transport.Message
 	seen   []bool
-	values []float64
+	isAsym []bool
+	base   []float64
+	patch  []float64
+	kern   msr.Kernel
 }
 
 // NewNode wires a node to its link.
@@ -368,6 +377,7 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 		inNbr:  make([]bool, cfg.N),
 		slots:  make([]transport.Message, cfg.N),
 		seen:   make([]bool, cfg.N),
+		isAsym: make([]bool, cfg.N),
 	}
 	if cfg.Topology != nil {
 		nbrs := cfg.Topology.Neighbors(cfg.ID)
@@ -394,7 +404,8 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 		nd.inNbr[j] = true
 	}
 	nd.out = make([]transport.Message, 0, nd.expect)
-	nd.values = make([]float64, 0, nd.expect)
+	nd.base = make([]float64, 0, nd.expect)
+	nd.patch = make([]float64, 0, nd.expect)
 	return nd, nil
 }
 
@@ -420,23 +431,25 @@ func (nd *Node) RunContext(ctx context.Context) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	occupiedPrev := false
+	var prevOcc []int
 	for r := 0; r < rounds; r++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		occupied := contains(nd.cfg.Schedule.Occupied(r), nd.cfg.ID)
-		cured := occupiedPrev && !occupied
+		occ := nd.cfg.Schedule.Occupied(r)
+		occupied := contains(occ, nd.cfg.ID)
+		cured := contains(prevOcc, nd.cfg.ID) && !occupied
+		nd.classifySenders(occ, prevOcc)
 
 		if err := nd.send(r, occupied, cured); err != nil {
 			return 0, err
 		}
-		values, err := nd.collect(ctx, r)
+		base, patch, err := nd.collect(ctx, r)
 		if err != nil {
 			return 0, err
 		}
-		if len(values) > 0 {
-			v, err := msr.ApplyCapped(nd.cfg.Algorithm, values, nd.tau)
+		if len(base)+len(patch) > 0 {
+			v, err := nd.kern.Vote(nd.cfg.Algorithm, nd.tau, base, patch)
 			if err != nil {
 				return 0, fmt.Errorf("cluster: node %d round %d: %w", nd.cfg.ID, r, err)
 			}
@@ -453,9 +466,33 @@ func (nd *Node) RunContext(ctx context.Context) (float64, error) {
 				nd.vote = nd.vote + nd.cfg.InputRange
 			}
 		}
-		occupiedPrev = occupied
+		prevOcc = occ
 	}
 	return nd.vote, nil
+}
+
+// classifySenders marks which senders are asymmetric this round, from the
+// shared deterministic schedule: nodes the agents occupy, plus — under M3 —
+// the just-released nodes whose poisoned queues send per-receiver garbage.
+// Every other sender is symmetric and feeds the kernel's base (M2-cured
+// nodes broadcast one corrupted value to everybody — symmetric by
+// definition; M1-cured nodes are silent and contribute nothing either way).
+func (nd *Node) classifySenders(occ, prevOcc []int) {
+	for i := range nd.isAsym {
+		nd.isAsym[i] = false
+	}
+	for _, id := range occ {
+		if id >= 0 && id < nd.cfg.N {
+			nd.isAsym[id] = true
+		}
+	}
+	if nd.cfg.Model == mobile.M3Sasaki {
+		for _, id := range prevOcc {
+			if id >= 0 && id < nd.cfg.N && !contains(occ, id) {
+				nd.isAsym[id] = true
+			}
+		}
+	}
 }
 
 // send broadcasts this round's messages according to the node's role: the
@@ -526,10 +563,11 @@ func (nd *Node) send(round int, occupied, cured bool) error {
 }
 
 // collect gathers this round's values until all expected senders reported
-// or the deadline passed. Early messages for future rounds are buffered;
-// stale messages are dropped; messages from senders outside the node's
-// neighborhood are rejected.
-func (nd *Node) collect(ctx context.Context, round int) ([]float64, error) {
+// or the deadline passed, splitting them into the kernel's symmetric base
+// and asymmetric patch per the round's sender classification. Early
+// messages for future rounds are buffered; stale messages are dropped;
+// messages from senders outside the node's neighborhood are rejected.
+func (nd *Node) collect(ctx context.Context, round int) (base, patch []float64, err error) {
 	count := 0
 	for i := range nd.seen {
 		nd.seen[i] = false
@@ -560,7 +598,7 @@ func (nd *Node) collect(ctx context.Context, round int) ([]float64, error) {
 		select {
 		case m, ok := <-nd.link.Recv():
 			if !ok {
-				return nil, errors.New("cluster: link closed mid-round")
+				return nil, nil, errors.New("cluster: link closed mid-round")
 			}
 			switch {
 			case m.Round == round:
@@ -575,22 +613,26 @@ func (nd *Node) collect(ctx context.Context, round int) ([]float64, error) {
 			nd.stats.Omissions += int64(nd.expect - count)
 			goto done
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 done:
-	values := nd.values[:0]
+	base, patch = nd.base[:0], nd.patch[:0]
 	for s := range nd.slots {
 		if !nd.seen[s] {
 			continue
 		}
 		if m := nd.slots[s]; !m.Omitted && !math.IsNaN(m.Value) {
-			values = append(values, m.Value)
+			if nd.isAsym[s] {
+				patch = append(patch, m.Value)
+			} else {
+				base = append(base, m.Value)
+			}
 		} else {
 			nd.stats.Omissions++
 		}
 	}
-	return values, nil
+	return base, patch, nil
 }
 
 // contains reports whether xs includes x.

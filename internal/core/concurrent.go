@@ -13,11 +13,14 @@ import (
 // RunConcurrent executes the protocol with one goroutine per process
 // exchanging real messages over channels, coordinated into synchronous
 // rounds. The adversary is driven by the coordinator in exactly the order
-// the deterministic engine uses, and every process's computation consumes
-// only the messages its goroutine actually received — so RunConcurrent
-// produces bit-identical Results to Run while exercising genuine concurrent
-// message passing. The test suite asserts that equivalence. It is
-// equivalent to NewRunner().RunConcurrent(cfg).
+// the deterministic engine uses, and every process's computation is backed
+// by the messages its goroutine actually received: on the kernel path each
+// worker first verifies its received row against the round's shared plan
+// (value-for-value for symmetric senders, silence for silent ones) and
+// then votes over the shared sorted base plus its own received patch — so
+// RunConcurrent produces bit-identical Results to Run while exercising
+// genuine concurrent message passing. The test suite asserts that
+// equivalence. It is equivalent to NewRunner().RunConcurrent(cfg).
 func RunConcurrent(cfg Config) (*Result, error) {
 	return NewRunner().RunConcurrent(cfg)
 }
@@ -91,10 +94,16 @@ const (
 )
 
 // computeDirective tells a worker whether it computes this round (a process
-// hosting an agent during the computation phase does not).
+// hosting an agent during the computation phase does not), and — on the
+// kernel path — hands it the round's shared plan. The plan is read-only for
+// workers and backed by coordinator scratch; the directive send orders the
+// coordinator's writes before the worker's reads, and the coordinator
+// blocks on every worker's report before planning the next round, so the
+// buffers are never written while a worker can still read them.
 type computeDirective struct {
 	round  int
 	faulty bool
+	kern   *kernelPlan
 }
 
 // report carries a worker's computed value back to the coordinator.
@@ -151,15 +160,20 @@ func (c *cluster) shutdown() {
 
 // worker is one process: it sends per the coordinator's directive, receives
 // exactly n messages, computes its next vote from what it actually
-// received, and reports it. The observation row and the voting function's
-// value buffer are worker-owned scratch, allocated once and recycled every
-// round.
+// received, and reports it. On the kernel path it first verifies the
+// received messages against the shared plan (kernelWorkerVote), then votes
+// over the plan's shared sorted base plus its own received patch — so the
+// computation still consumes only verified actually-exchanged messages but
+// skips the per-worker O(n log n) sort. The observation row, the voting
+// value buffer and the merge buffer are worker-owned scratch, allocated
+// once and recycled every round.
 func (c *cluster) worker(cfg Config, id int) {
 	defer c.wg.Done()
 	vote := cfg.Inputs[id]
 	tau := cfg.Tau()
 	row := make([]mixedmode.Observation, c.n)
 	values := make([]float64, 0, c.n)
+	merged := make([]float64, 0, c.n)
 	for sd := range c.sendCh[id] {
 		if sd.hasSetVote {
 			vote = sd.setVote
@@ -193,7 +207,13 @@ func (c *cluster) worker(cfg Config, id int) {
 			c.reports <- report{round: sd.round, from: id, value: vote}
 			continue
 		}
-		v, err := computeVote(cfg.Algorithm, tau, row, vote, values[:0])
+		var v float64
+		var err error
+		if cd.kern != nil {
+			v, err = kernelWorkerVote(cfg.Algorithm, tau, cd.kern, row, vote, values[:0], merged[:0])
+		} else {
+			v, err = computeVote(cfg.Algorithm, tau, row, vote, values[:0])
+		}
 		if err != nil {
 			c.reports <- report{round: sd.round, from: id, err: fmt.Errorf("core: round %d process %d: %w", sd.round, id, err)}
 			continue
@@ -243,12 +263,16 @@ func (st *runState) runRoundConcurrent(c *cluster, round int) error {
 			case mobile.M3Sasaki:
 				sd.mode = modeScripted
 				sd.setVote, sd.hasSetVote = st.votes[i], true
-				sd.scripted = scriptColumn(plan.matrix, i, round, cfg.N)
+				if sd.scripted, err = scriptFor(plan, i, round, cfg.N); err != nil {
+					return err
+				}
 			}
 		case mobile.StateFaulty:
 			sd.mode = modeScripted
 			sd.setVote, sd.hasSetVote = math.NaN(), true
-			sd.scripted = scriptColumn(plan.matrix, i, round, cfg.N)
+			if sd.scripted, err = scriptFor(plan, i, round, cfg.N); err != nil {
+				return err
+			}
 		}
 		c.sendCh[i] <- sd
 	}
@@ -260,7 +284,7 @@ func (st *runState) runRoundConcurrent(c *cluster, round int) error {
 	}
 
 	for i := 0; i < cfg.N; i++ {
-		c.computes[i] <- computeDirective{round: round, faulty: st.faulty.has(i)}
+		c.computes[i] <- computeDirective{round: round, faulty: st.faulty.has(i), kern: plan.kern}
 	}
 
 	for k := 0; k < cfg.N; k++ {
@@ -281,6 +305,16 @@ func (st *runState) runRoundConcurrent(c *cluster, round int) error {
 
 	st.finishRound(round, sendStates, plan)
 	return nil
+}
+
+// scriptFor extracts sender's outgoing messages from whichever plan
+// representation the round produced: the kernel's patch block on the hot
+// path, the observation matrix on the snapshot path.
+func scriptFor(plan plannedRound, sender, round, n int) ([]message, error) {
+	if plan.kern != nil {
+		return plan.kern.scriptRow(sender, round)
+	}
+	return scriptColumn(plan.matrix, sender, round, n), nil
 }
 
 // scriptColumn extracts sender's outgoing messages from the planned matrix.

@@ -93,18 +93,22 @@ type scratch struct {
 
 	faulty faultySet
 
-	sendStates []mobile.State    // send-phase state snapshot for the checkers
-	values     []float64         // computeVote's non-omitted value buffer
-	uValues    []float64         // planSendPhase's U accumulation buffer
-	matrix     *mixedmode.Matrix // reusable observation matrix
+	sendStates []mobile.State // send-phase state snapshot for the checkers
+	values     []float64      // computeVote's non-omitted value buffer (snapshot path)
+	uValues    []float64      // planSendPhase's U accumulation buffer
+
+	// Base+patch kernel state: the per-round plan (base, classification,
+	// patch block) plus the per-receiver voting buffers. The kernel replaced
+	// the scratch observation matrix — the hot path never materializes n×n
+	// state at all, so scratch memory is O(n + f·n) instead of O(n²).
+	kern   kernelPlan
+	pvals  []float64 // per-receiver patch values (≤ 2f per round)
+	merged []float64 // base+patch merge output (≤ n values)
 }
 
 // ensure sizes every buffer for n processes. Flat buffers grow
-// monotonically and are resliced to [:n] per run; the matrix is kept at
-// exactly n×n — a run that reused a larger matrix would pay the larger
-// dimension's O(n²) reset every round and scan oversized observation rows,
-// so bouncing between system sizes re-makes it (one allocation per size
-// change, not per round).
+// monotonically and are resliced to [:n] per run; the kernel plan's patch
+// block grows by append to the largest |asym|×n seen.
 func (sc *scratch) ensure(n int) error {
 	if sc.n < n {
 		sc.votes = make([]float64, n)
@@ -115,14 +119,9 @@ func (sc *scratch) ensure(n int) error {
 		sc.sendStates = make([]mobile.State, n)
 		sc.values = make([]float64, 0, n)
 		sc.uValues = make([]float64, 0, n)
+		sc.pvals = make([]float64, 0, n)
+		sc.merged = make([]float64, 0, n)
 		sc.n = n
-	}
-	if sc.matrix == nil || sc.matrix.N() != n {
-		m, err := mixedmode.NewMatrix(n)
-		if err != nil {
-			return err
-		}
-		sc.matrix = m
 	}
 	return nil
 }
@@ -389,17 +388,29 @@ func (st *runState) runRound(round int) error {
 	}
 
 	// Receive + compute for every process not faulty during computation.
+	// On the kernel path each receiver gathers its O(f) patch, sorts it,
+	// and merges it linearly into the round's shared sorted base; on the
+	// snapshot path it sorts its full matrix row as before. Both produce
+	// bit-identical votes (the golden suite pins this).
 	tau := cfg.Tau()
 	for i := 0; i < cfg.N; i++ {
 		if st.faulty.has(i) {
 			st.newVotes[i] = math.NaN()
 			continue
 		}
-		obsRow, err := plan.matrix.Row(i)
-		if err != nil {
-			return err
+		var v float64
+		var err error
+		if plan.kern != nil {
+			patch := plan.kern.patchInto(st.sc.pvals[:0], i)
+			v, err = computeVoteKernel(cfg.Algorithm, tau, plan.kern.base, patch, st.sc.merged[:0], st.votes[i])
+		} else {
+			var obsRow []mixedmode.Observation
+			obsRow, err = plan.matrix.Row(i)
+			if err != nil {
+				return err
+			}
+			v, err = computeVote(cfg.Algorithm, tau, obsRow, st.votes[i], st.sc.values[:0])
 		}
-		v, err := computeVote(cfg.Algorithm, tau, obsRow, st.votes[i], st.sc.values[:0])
 		if err != nil {
 			return fmt.Errorf("core: round %d process %d: %w", round, i, err)
 		}

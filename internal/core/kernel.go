@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mbfaa/internal/mixedmode"
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+	"mbfaa/internal/multiset"
+)
+
+// This file is the engine half of the base+patch round kernel (see
+// internal/msr/kernel.go for the merge/apply half). A full-mesh send phase
+// has shared structure the n×n observation matrix obscures: symmetric
+// senders — correct processes and M2-cured rebroadcasters — send one value
+// to everybody, so two receivers' multisets differ only in the entries of
+// the asymmetric senders (faulty processes and M3-cured poisoned queues),
+// at most 2f of them. The kernel plan stores exactly that factored form:
+// one base sorted once per round, plus an |asym|×n patch block. On the hot
+// path (no OnRound snapshot) planSendPhase emits this form directly and the
+// matrix is never materialized; the matrix and the per-sender expected
+// values remain the snapshot representation for OnRound consumers.
+
+// senderKind classifies one sender's send-phase behaviour in a kernel plan.
+// The zero value is deliberately invalid: every sender must be classified
+// by the planning loop, and the concurrent engine's plan verification
+// treats an unclassified sender as a protocol error.
+type senderKind uint8
+
+const (
+	// kindSymmetric senders delivered symVal to every receiver (correct
+	// processes, M2-cured rebroadcasters). Their contributions form the base.
+	kindSymmetric senderKind = iota + 1
+	// kindSilent senders delivered nothing to anybody (M1-cured processes,
+	// aware of their state). They contribute neither base nor patch.
+	kindSilent
+	// kindAsymmetric senders delivered per-receiver values or omissions
+	// (faulty processes, M3-cured queues). Their observations live in the
+	// patch block.
+	kindAsymmetric
+)
+
+// kernelPlan is one round's send phase in base+patch form. Its slices live
+// in the Runner's scratch and grow monotonically; a plan is valid until the
+// next round is planned. The concurrent engine shares the plan read-only
+// with its worker goroutines (the channel send/receive pairs order every
+// write before every read).
+type kernelPlan struct {
+	n int
+	// base holds the symmetric senders' values, sorted ascending after
+	// sealBase. Every receiver's multiset contains all of it.
+	base []float64
+	// kinds[s] classifies sender s; symVal[s] is the value a kindSymmetric
+	// sender broadcast (a copy taken at planning time — votes move on under
+	// M4's mid-round relocation, plans do not).
+	kinds  []senderKind
+	symVal []float64
+	// asym lists the asymmetric senders in ascending order; obs[k*n+r] is
+	// what receiver r observes from sender asym[k].
+	asym []int
+	obs  []mixedmode.Observation
+}
+
+// reset prepares the plan for a round of n senders, recycling all buffers.
+func (kp *kernelPlan) reset(n int) {
+	kp.n = n
+	if cap(kp.kinds) < n {
+		kp.kinds = make([]senderKind, n)
+		kp.symVal = make([]float64, n)
+	}
+	kp.kinds = kp.kinds[:n]
+	kp.symVal = kp.symVal[:n]
+	for i := range kp.kinds {
+		kp.kinds[i] = 0
+	}
+	kp.base = kp.base[:0]
+	kp.asym = kp.asym[:0]
+	kp.obs = kp.obs[:0]
+}
+
+// addSymmetric registers sender as broadcasting v to every receiver.
+func (kp *kernelPlan) addSymmetric(sender int, v float64) {
+	kp.kinds[sender] = kindSymmetric
+	kp.symVal[sender] = v
+	kp.base = append(kp.base, v)
+}
+
+// addAsymmetric registers sender as adversary-scripted and returns its
+// patch-block index; the caller records exactly n observations for it.
+func (kp *kernelPlan) addAsymmetric(sender int) int {
+	kp.kinds[sender] = kindAsymmetric
+	kp.asym = append(kp.asym, sender)
+	return len(kp.asym) - 1
+}
+
+// recordObs appends the next receiver's observation for the asymmetric
+// sender currently being scripted, sanitising NaN into an omission exactly
+// as the matrix path's recordAdversarial does.
+func (kp *kernelPlan) recordObs(val float64, omit bool) {
+	if omit || math.IsNaN(val) {
+		kp.obs = append(kp.obs, mixedmode.Observation{Omitted: true})
+		return
+	}
+	kp.obs = append(kp.obs, mixedmode.Observation{Value: val})
+}
+
+// sealBase sorts the base; after it the plan is ready for voting.
+func (kp *kernelPlan) sealBase() { sort.Float64s(kp.base) }
+
+// patchInto appends receiver's non-omitted patch values to dst.
+func (kp *kernelPlan) patchInto(dst []float64, receiver int) []float64 {
+	for k := range kp.asym {
+		if o := kp.obs[k*kp.n+receiver]; !o.Omitted {
+			dst = append(dst, o.Value)
+		}
+	}
+	return dst
+}
+
+// scriptRow rebuilds asymmetric sender's outgoing messages for the
+// concurrent engine's scripted send directive. The slice is handed to a
+// worker goroutine that drains it at its own pace, so it is freshly
+// allocated rather than scratch-backed.
+func (kp *kernelPlan) scriptRow(sender, round int) ([]message, error) {
+	k := sort.SearchInts(kp.asym, sender)
+	if k >= len(kp.asym) || kp.asym[k] != sender {
+		return nil, fmt.Errorf("core: sender %d not in the plan's asymmetric set", sender)
+	}
+	out := make([]message, kp.n)
+	for j := 0; j < kp.n; j++ {
+		o := kp.obs[k*kp.n+j]
+		out[j] = message{round: round, from: sender, value: o.Value, omitted: o.Omitted}
+	}
+	return out, nil
+}
+
+// planKernelSendPhase is planSendPhase's hot-path twin: it consults the
+// adversary in exactly the same fixed order — senders ascending, receivers
+// ascending within each scripted sender — but emits the base+patch form
+// and never touches an observation matrix. U is accumulated (over scratch)
+// only when the checkers will read it.
+func (st *runState) planKernelSendPhase(round int) (plannedRound, error) {
+	cfg := st.cfg
+	votes, states := st.votes, st.states
+	kp := &st.sc.kern
+	kp.reset(cfg.N)
+	needU := st.report != nil
+	var uValues []float64
+	if needU {
+		uValues = st.sc.uValues[:0]
+	}
+
+	view := st.borrowView(round, phaseSend)
+	for sender := 0; sender < cfg.N; sender++ {
+		switch states[sender] {
+		case mobile.StateCorrect:
+			if needU {
+				uValues = append(uValues, votes[sender])
+			}
+			kp.addSymmetric(sender, votes[sender])
+		case mobile.StateFaulty:
+			kp.addAsymmetric(sender)
+			for receiver := 0; receiver < cfg.N; receiver++ {
+				kp.recordObs(cfg.Adversary.FaultyValue(view, sender, receiver))
+			}
+		case mobile.StateCured:
+			switch cfg.Model {
+			case mobile.M1Garay:
+				// Aware and silent: no receiver observes anything.
+				kp.kinds[sender] = kindSilent
+			case mobile.M2Bonnet:
+				kp.addSymmetric(sender, votes[sender])
+			case mobile.M3Sasaki:
+				kp.addAsymmetric(sender)
+				for receiver := 0; receiver < cfg.N; receiver++ {
+					kp.recordObs(cfg.Adversary.QueueValue(view, sender, receiver))
+				}
+			case mobile.M4Buhrman:
+				return plannedRound{}, fmt.Errorf("core: cured process %d during an M4 send phase", sender)
+			}
+		default:
+			return plannedRound{}, fmt.Errorf("core: process %d in invalid state %v", sender, states[sender])
+		}
+	}
+	kp.sealBase()
+	plan := plannedRound{kern: kp}
+	if needU {
+		u, err := multiset.FromOwned(uValues)
+		if err != nil {
+			return plannedRound{}, fmt.Errorf("core: building U: %w", err)
+		}
+		plan.u = u
+	}
+	return plan, nil
+}
+
+// computeVoteKernel is computeVote over the base+patch form: sort the O(f)
+// patch, merge it linearly into the shared sorted base, and apply the
+// voting function over the merged sequence — the same ascending order and
+// left-to-right summation the per-receiver sort produces, so the result is
+// bit-identical. patch is sorted in place; merged is the caller's scratch
+// (length 0, capacity ≥ len(base)+len(patch)). The total-silence fallback
+// mirrors computeVote: retain the previous value.
+func computeVoteKernel(algo msr.Algorithm, tau int, base, patch, merged []float64, previous float64) (float64, error) {
+	sort.Float64s(patch)
+	merged = msr.MergeSorted(merged, base, patch)
+	if len(merged) == 0 {
+		if math.IsNaN(previous) {
+			return 0, fmt.Errorf("core: no values received and no previous state")
+		}
+		return previous, nil
+	}
+	return msr.ApplySorted(algo, merged, tau)
+}
+
+// kernelWorkerVote is the concurrent engine's verified kernel compute: the
+// worker first checks every actually-received observation against the plan
+// — symmetric senders must have delivered exactly their base value, silent
+// senders nothing — then votes over the shared sorted base plus the patch
+// it actually received from the asymmetric senders. The verification is the
+// message-passing engine's plan-equivalence guarantee made explicit: a
+// mismatch means the goroutines did not reproduce the planned send phase.
+func kernelWorkerVote(algo msr.Algorithm, tau int, kp *kernelPlan, row []mixedmode.Observation, previous float64, patch, merged []float64) (float64, error) {
+	for s, o := range row {
+		switch kp.kinds[s] {
+		case kindSymmetric:
+			if o.Omitted || o.Value != kp.symVal[s] {
+				return 0, fmt.Errorf("core: plan verification: symmetric sender %d delivered (%v, omitted=%v), plan says %v",
+					s, o.Value, o.Omitted, kp.symVal[s])
+			}
+		case kindSilent:
+			if !o.Omitted {
+				return 0, fmt.Errorf("core: plan verification: silent sender %d delivered %v", s, o.Value)
+			}
+		case kindAsymmetric:
+			if !o.Omitted {
+				patch = append(patch, o.Value)
+			}
+		default:
+			return 0, fmt.Errorf("core: plan verification: sender %d unclassified", s)
+		}
+	}
+	return computeVoteKernel(algo, tau, kp.base, patch, merged, previous)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mbfaa/internal/mobile"
+	"mbfaa/internal/msr"
+)
+
+// BenchmarkKernelRound measures the steady-state round loop on a reused
+// Runner in both plan representations: the base+patch kernel (the hot
+// path) and the n×n matrix reference (forced via an OnRound no-op, the
+// snapshot path). The gap between the two arms is the kernel's win with
+// everything else — adversary consultation, movement, PRNG derivation —
+// held identical.
+func BenchmarkKernelRound(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		f := mobile.M2Bonnet.MaxFaulty(n)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = float64(i) / float64(n)
+		}
+		cfg := Config{
+			Model:       mobile.M2Bonnet,
+			N:           n,
+			F:           f,
+			Algorithm:   msr.FTA{},
+			Adversary:   mobile.NewRotating(),
+			Inputs:      inputs,
+			Epsilon:     1e-9,
+			FixedRounds: 10,
+		}
+		for _, arm := range []struct {
+			name string
+			cfg  Config
+		}{
+			{"kernel", cfg},
+			{"matrix", func() Config {
+				c := cfg
+				c.OnRound = func(RoundInfo) {}
+				return c
+			}()},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", arm.name, n), func(b *testing.B) {
+				r := NewRunner()
+				if _, err := r.Run(arm.cfg); err != nil { // warm scratch
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(arm.cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -46,14 +46,17 @@ type RoundInfo struct {
 	U multiset.Multiset
 }
 
-// plannedRound holds the fully determined send phase of one round: the
-// observation matrix every receiver will see, and the classifier baseline.
-// Both engines consume the same plan; the concurrent engine additionally
-// verifies that the messages its goroutines actually exchanged reproduce
-// the plan exactly. Unless the run has an OnRound callback, the plan's
-// buffers live in the engine's scratch and are only valid until the next
-// round is planned.
+// plannedRound holds the fully determined send phase of one round, in one
+// of two representations. On the hot path (no OnRound callback) kern holds
+// the base+patch kernel form and no matrix exists; when OnRound is set the
+// observation matrix and expected values are materialized instead, because
+// the callback may legitimately retain them. Both engines consume the same
+// plan; the concurrent engine additionally verifies that the messages its
+// goroutines actually exchanged reproduce the plan exactly. Kernel plans
+// live in the engine's scratch and are only valid until the next round is
+// planned; snapshot plans are freshly allocated.
 type plannedRound struct {
+	kern     *kernelPlan
 	matrix   *mixedmode.Matrix
 	expected []float64
 	u        multiset.Multiset
@@ -126,10 +129,10 @@ func (st *runState) freshView(round int, phase uint64) *mobile.View {
 	}
 }
 
-// planSendPhase computes the observation matrix of one round. The adversary
-// is consulted in a fixed order — faulty senders ascending, receivers
-// ascending, then cured queues — so that randomized adversaries behave
-// identically in both engines.
+// planSendPhase computes one round's send phase. The adversary is consulted
+// in a fixed order — senders ascending, receivers ascending within each
+// scripted sender — so that randomized adversaries behave identically in
+// both engines and on both plan representations.
 //
 // Send semantics per state (paper §3 and Lemmas 1–4):
 //
@@ -141,53 +144,39 @@ func (st *runState) freshView(round int, phase uint64) *mobile.View {
 //	cured, M4    cannot occur: agents move with messages, so no process
 //	             is cured during a send phase
 //
-// On the hot path (no OnRound callback) the matrix lives in scratch, the
-// expected values are skipped entirely (only RoundInfo carries them), and U
-// is built — over scratch — only when the checkers will read it.
+// On the hot path (no OnRound callback) the plan is emitted in base+patch
+// kernel form and the n×n observation matrix is skipped entirely; U is
+// built — over scratch — only when the checkers will read it. The matrix
+// path below serves OnRound snapshots, whose consumers (the Table 1
+// classifier) need the full matrix and the expected values and may retain
+// them, so everything is freshly allocated.
 func (st *runState) planSendPhase(round int) (plannedRound, error) {
+	if !st.snapshot {
+		return st.planKernelSendPhase(round)
+	}
 	cfg := st.cfg
 	votes, states := st.votes, st.states
 
-	// expected is only ever consumed through RoundInfo.Expected, so it is
-	// both allocated and filled only on the snapshot (OnRound) path.
-	var matrix *mixedmode.Matrix
-	var expected []float64
-	if st.snapshot {
-		m, err := mixedmode.NewMatrix(cfg.N)
-		if err != nil {
-			return plannedRound{}, err
-		}
-		matrix = m
-		expected = make([]float64, cfg.N)
-	} else {
-		matrix = st.sc.matrix
-		matrix.Reset()
+	matrix, err := mixedmode.NewMatrix(cfg.N)
+	if err != nil {
+		return plannedRound{}, err
 	}
-	needU := st.snapshot || st.report != nil
+	expected := make([]float64, cfg.N)
 	var uValues []float64
-	if needU && !st.snapshot {
-		uValues = st.sc.uValues[:0]
-	}
 
 	view := st.borrowView(round, phaseSend)
 	for sender := 0; sender < cfg.N; sender++ {
 		switch states[sender] {
 		case mobile.StateCorrect:
-			if st.snapshot {
-				expected[sender] = votes[sender]
-			}
-			if needU {
-				uValues = append(uValues, votes[sender])
-			}
+			expected[sender] = votes[sender]
+			uValues = append(uValues, votes[sender])
 			for receiver := 0; receiver < cfg.N; receiver++ {
 				if err := matrix.Record(receiver, sender, mixedmode.Observation{Value: votes[sender]}); err != nil {
 					return plannedRound{}, err
 				}
 			}
 		case mobile.StateFaulty:
-			if st.snapshot {
-				expected[sender] = math.NaN()
-			}
+			expected[sender] = math.NaN()
 			for receiver := 0; receiver < cfg.N; receiver++ {
 				val, omit := cfg.Adversary.FaultyValue(view, sender, receiver)
 				if err := recordAdversarial(matrix, receiver, sender, val, omit); err != nil {
@@ -195,9 +184,7 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 				}
 			}
 		case mobile.StateCured:
-			if st.snapshot {
-				expected[sender] = math.NaN()
-			}
+			expected[sender] = math.NaN()
 			switch cfg.Model {
 			case mobile.M1Garay:
 				// Aware and silent: every entry stays Omitted.
@@ -222,13 +209,11 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 		}
 	}
 	plan := plannedRound{matrix: matrix, expected: expected}
-	if needU {
-		u, err := multiset.FromOwned(uValues)
-		if err != nil {
-			return plannedRound{}, fmt.Errorf("core: building U: %w", err)
-		}
-		plan.u = u
+	u, err := multiset.FromOwned(uValues)
+	if err != nil {
+		return plannedRound{}, fmt.Errorf("core: building U: %w", err)
 	}
+	plan.u = u
 	return plan, nil
 }
 

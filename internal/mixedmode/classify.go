@@ -40,22 +40,11 @@ func NewMatrix(n int) (*Matrix, error) {
 // N returns the matrix dimension.
 func (m *Matrix) N() int { return m.n }
 
-// Reset marks every entry Omitted again, returning the matrix to its
-// freshly-constructed state without reallocating. It lets the simulation
-// engine recycle one matrix across rounds instead of paying an O(n²)
-// allocation per round.
-func (m *Matrix) Reset() {
-	for i := range m.obs {
-		row := m.obs[i]
-		for j := range row {
-			row[j] = Observation{Omitted: true}
-		}
-	}
-}
-
 // Row returns receiver's observation row as a read-only view of the
-// matrix's backing store — no copy. The slice is invalidated by the next
-// Reset; callers that retain observations across rounds must copy.
+// matrix's backing store — no copy. (Matrix.Reset, which once let the
+// engine recycle a scratch matrix across rounds, is gone: the hot path
+// runs on the base+patch kernel and a matrix is only materialized for
+// OnRound snapshots, freshly allocated per round.)
 func (m *Matrix) Row(receiver int) ([]Observation, error) {
 	if receiver < 0 || receiver >= m.n {
 		return nil, fmt.Errorf("mixedmode: row %d out of range for n=%d", receiver, m.n)

@@ -61,6 +61,25 @@ func FromOwned(values []float64) (Multiset, error) {
 	return Multiset{values: values}, nil
 }
 
+// FromSortedOwned builds a Multiset over an already-ascending slice without
+// re-sorting: the slice becomes the backing store, exactly as in FromOwned.
+// It is the constructor of the base+patch round kernel, whose linear merge
+// produces the sorted sequence directly — paying an O(n log n) sort here
+// would throw the kernel's win away. The single O(n) validation pass rejects
+// NaN and out-of-order values before taking ownership, so a buggy merge
+// cannot smuggle an unsorted sequence past the reduction step.
+func FromSortedOwned(values []float64) (Multiset, error) {
+	for i, v := range values {
+		if math.IsNaN(v) {
+			return Multiset{}, ErrNaN
+		}
+		if i > 0 && v < values[i-1] {
+			return Multiset{}, fmt.Errorf("multiset: values not ascending at index %d (%g < %g)", i, v, values[i-1])
+		}
+	}
+	return Multiset{values: values}, nil
+}
+
 // MustFromValues is FromValues for statically known inputs, used by tests
 // and table literals. It panics on NaN, which is a programming error in
 // those contexts.
@@ -257,13 +276,36 @@ func (m Multiset) Extremes() (Multiset, bool) {
 	return Multiset{values: []float64{m.values[0], m.values[len(m.values)-1]}}, true
 }
 
-// Union returns the multiset union (concatenation) of m and other.
+// Union returns the multiset union of m and other. Both operands are
+// already sorted, so the result is built by one linear merge — O(a+b)
+// instead of the former concatenate-then-sort O((a+b)·log(a+b)).
 func (m Multiset) Union(other Multiset) Multiset {
-	out := make([]float64, 0, len(m.values)+len(other.values))
-	out = append(out, m.values...)
-	out = append(out, other.values...)
-	sort.Float64s(out)
+	out := MergeSortedInto(make([]float64, 0, len(m.values)+len(other.values)), m.values, other.values)
 	return Multiset{values: out}
+}
+
+// MergeSortedInto appends the linear merge of the two ascending slices a
+// and b to dst and returns the extended slice — the raw-slice merge
+// primitive behind Union and the base+patch round kernel (msr.MergeSorted
+// delegates here). Ties take a's element first; since tied float64s are
+// bit-identical (NaN is excluded upstream and ±0.0 are interchangeable in
+// every downstream reduction), the output is the same ascending value
+// sequence a full sort of the concatenation yields. Callers pass dst with
+// length 0 and sufficient capacity to stay allocation-free.
+func MergeSortedInto(dst, a, b []float64) []float64 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // Add returns a new multiset with v added. It returns an error for NaN.

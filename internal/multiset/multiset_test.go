@@ -2,6 +2,7 @@ package multiset
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -226,6 +227,72 @@ func TestUnionAddCount(t *testing.T) {
 	}
 	if c := u.Count(9); c != 0 {
 		t.Errorf("Count(9) = %d, want 0", c)
+	}
+}
+
+// TestUnionMergesSorted cross-checks the linear-merge Union against a full
+// sort of the concatenation on randomized operands: every element, every
+// multiplicity, ascending order, empty and overlapping operands included.
+func TestUnionMergesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		a := make([]float64, rng.Intn(10))
+		b := make([]float64, rng.Intn(10))
+		for i := range a {
+			a[i] = math.Round(rng.Float64()*10) / 2 // coarse grid forces ties
+		}
+		for i := range b {
+			b[i] = math.Round(rng.Float64()*10) / 2
+		}
+		ma, mb := MustFromValues(a...), MustFromValues(b...)
+		got := ma.Union(mb)
+		want := MustFromValues(append(append([]float64(nil), a...), b...)...)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: Union(%v, %v) = %v, want %v", trial, ma, mb, got, want)
+		}
+		if got.Len() != len(a)+len(b) {
+			t.Fatalf("trial %d: Union lost elements: %d != %d", trial, got.Len(), len(a)+len(b))
+		}
+		vs := got.Values()
+		for i := 1; i < len(vs); i++ {
+			if vs[i] < vs[i-1] {
+				t.Fatalf("trial %d: Union not ascending at %d: %v", trial, i, vs)
+			}
+		}
+	}
+	var empty Multiset
+	if u := empty.Union(empty); !u.IsEmpty() {
+		t.Errorf("Union of empties = %v", u)
+	}
+	one := MustFromValues(4)
+	if u := empty.Union(one); !u.Equal(one) {
+		t.Errorf("empty ∪ {4} = %v", u)
+	}
+}
+
+// TestFromSortedOwned pins the kernel constructor: ascending input is
+// wrapped without copying, unsorted or NaN input is rejected before
+// ownership transfers.
+func TestFromSortedOwned(t *testing.T) {
+	vals := []float64{1, 2, 2, 5}
+	m, err := FromSortedOwned(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(MustFromValues(1, 2, 2, 5)) {
+		t.Errorf("FromSortedOwned = %v", m)
+	}
+	if v, _ := m.At(0); v != 1 {
+		t.Errorf("At(0) = %v", v)
+	}
+	if _, err := FromSortedOwned([]float64{2, 1}); err == nil {
+		t.Error("descending input accepted")
+	}
+	if _, err := FromSortedOwned([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN input accepted")
+	}
+	if _, err := FromSortedOwned(nil); err != nil {
+		t.Errorf("empty input rejected: %v", err)
 	}
 }
 

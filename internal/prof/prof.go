@@ -1,0 +1,78 @@
+// Package prof wires Go's runtime/pprof CPU and heap profilers behind the
+// -cpuprofile/-memprofile flag pair the cmd tools share, so kernel and
+// transport work can be profiled with `go tool pprof` against a real
+// workload without editing code. Everything here is standard library; the
+// profiles are ordinary pprof files.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the two profile destinations as parsed from the command line.
+// Empty paths disable the corresponding profile.
+type Flags struct {
+	// CPU is the CPU profile destination (-cpuprofile).
+	CPU string
+	// Mem is the heap profile destination (-memprofile), written at stop.
+	Mem string
+}
+
+// RegisterFlags registers -cpuprofile and -memprofile on fs (the cmd tools
+// pass flag.CommandLine) and returns the Flags the parse will fill.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	return f
+}
+
+// Start is Start(f.CPU, f.Mem).
+func (f *Flags) Start() (stop func() error, err error) { return Start(f.CPU, f.Mem) }
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile to
+// memPath; either may be empty to disable that profile. It returns a stop
+// function the caller must invoke exactly once at exit — it ends the CPU
+// profile and writes the heap profile (after a GC, so the numbers reflect
+// live memory, not collection timing).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(fmt.Errorf("prof: heap profile: %w", err))
+				return firstErr
+			}
+			runtime.GC()
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		return firstErr
+	}, nil
+}

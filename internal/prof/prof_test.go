@@ -1,0 +1,83 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterFlagsParses(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "cpu.out" || f.Mem != "mem.out" {
+		t.Errorf("parsed Flags = %+v", *f)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	f = RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "" || f.Mem != "" {
+		t.Errorf("defaults not empty: %+v", *f)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := 0.0
+	buf := make([]float64, 1<<12)
+	for i := range buf {
+		buf[i] = float64(i) * 1.5
+		sink += buf[i]
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop returned %v", err)
+	}
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "missing", "cpu.out"), ""); err == nil {
+		t.Fatal("unwritable cpu profile path accepted")
+	}
+	// A bad heap path surfaces at stop, not start: the file is only
+	// created once the workload finished.
+	stop, err := Start("", filepath.Join(t.TempDir(), "missing", "mem.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("unwritable heap profile path accepted at stop")
+	}
+}
