@@ -23,6 +23,7 @@ import (
 	"mbfaa"
 	"mbfaa/internal/analysis"
 	"mbfaa/internal/prng"
+	"mbfaa/internal/prof"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		checkers  = flag.Bool("checkers", true, "run the Definition 4 / Theorem 1 invariant checkers")
 		showTrace = flag.Bool("trace", false, "print the full event trace")
 		spark     = flag.Bool("spark", true, "print the diameter sparkline")
+		profFlags = prof.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -110,12 +112,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// The profiles cover the execution itself; every exit after Start
+	// flushes explicitly (log.Fatal skips defers, and an unflushed CPU
+	// profile has no trailer and is unreadable by pprof).
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := func(v ...any) {
+		if perr := stopProf(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatal(v...)
+	}
+
 	res, err := mbfaa.NewEngine().Run(ctx, spec)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			log.Fatal("interrupted")
+			fatal("interrupted")
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	adversaryLabel := *advName
@@ -144,6 +161,9 @@ func main() {
 	}
 	if *showTrace {
 		fmt.Print(rec.Render())
+	}
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 	if !res.Converged && *rounds == 0 {
 		os.Exit(1)

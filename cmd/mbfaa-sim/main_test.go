@@ -1,0 +1,44 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"mbfaa/internal/prof"
+)
+
+// TestProfilingFlags covers the -cpuprofile/-memprofile pair main registers
+// on flag.CommandLine: both parse into the shared prof.Flags and default to
+// disabled.
+func TestProfilingFlags(t *testing.T) {
+	fs := flag.NewFlagSet("mbfaa-sim", flag.ContinueOnError)
+	pf := prof.RegisterFlags(fs)
+	args := []string{"-cpuprofile", "/tmp/cpu.pprof", "-memprofile", "/tmp/mem.pprof"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if pf.CPU != "/tmp/cpu.pprof" || pf.Mem != "/tmp/mem.pprof" {
+		t.Errorf("profiling flags parsed to %+v", *pf)
+	}
+
+	fs = flag.NewFlagSet("mbfaa-sim", flag.ContinueOnError)
+	pf = prof.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if pf.CPU != "" || pf.Mem != "" {
+		t.Errorf("profiling flags should default to disabled, got %+v", *pf)
+	}
+}
+
+// TestModelByShort pins the model-name resolution the -model flag feeds.
+func TestModelByShort(t *testing.T) {
+	for _, s := range []string{"M1", "m2", "M3", "m4"} {
+		if _, err := modelByShort(s); err != nil {
+			t.Errorf("modelByShort(%q): %v", s, err)
+		}
+	}
+	if _, err := modelByShort("M5"); err == nil {
+		t.Error("modelByShort accepted an unknown model")
+	}
+}

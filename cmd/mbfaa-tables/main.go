@@ -19,6 +19,7 @@ import (
 
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/msr"
+	"mbfaa/internal/prof"
 	"mbfaa/internal/sweep"
 )
 
@@ -30,10 +31,11 @@ func main() {
 	log.SetPrefix("mbfaa-tables: ")
 
 	var (
-		f       = flag.Int("f", 2, "number of mobile Byzantine agents")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		only    = flag.String("only", "", "emit a single artifact: "+strings.Join(artifacts, ", "))
-		workers = flag.Int("workers", 0, "worker pool size (0 = all cores); results are identical for any value")
+		f         = flag.Int("f", 2, "number of mobile Byzantine agents")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		only      = flag.String("only", "", "emit a single artifact: "+strings.Join(artifacts, ", "))
+		workers   = flag.Int("workers", 0, "worker pool size (0 = all cores); results are identical for any value")
+		profFlags = prof.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -47,6 +49,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The profiles cover the artifact regeneration; every exit after Start
+	// flushes explicitly (log.Fatal skips defers, and an unflushed CPU
+	// profile has no trailer and is unreadable by pprof).
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := func(v ...any) {
+		if perr := stopProf(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatal(v...)
+	}
+
 	opt := sweep.DefaultOptions()
 	opt.Seed = *seed
 	opt.Workers = *workers
@@ -58,7 +74,7 @@ func main() {
 	if want("t0") {
 		t0, err := sweep.MixedModeBounds(2, 2, 2, msr.FTA{}, opt)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t0.Render())
 		ok = ok && t0.Ok()
@@ -67,7 +83,7 @@ func main() {
 	if want("table1") {
 		t1, err := sweep.Table1(*f, opt)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t1.Render())
 		ok = ok && t1.Ok()
@@ -76,7 +92,7 @@ func main() {
 	if want("table2") {
 		t2, err := sweep.Table2([]int{1, *f}, msr.FTA{}, opt)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t2.Render())
 		ok = ok && t2.Ok()
@@ -87,7 +103,7 @@ func main() {
 		for _, model := range mobile.AllModels() {
 			tr, err := sweep.Trajectory(model, *f, msr.FTM{}, opt)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Print(tr.Render())
 			ok = ok && tr.Summary.ReachedEps
@@ -99,7 +115,7 @@ func main() {
 		for _, model := range mobile.AllModels() {
 			rv, err := sweep.RoundsVsN(model, *f, 3**f, msr.FTM{}, opt)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Print(rv.Render())
 		}
@@ -109,7 +125,7 @@ func main() {
 	if want("f3") {
 		ab, err := sweep.Ablation(*f, opt, msr.All())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(ab.Render())
 		ok = ok && ab.GuaranteesHold()
@@ -120,7 +136,7 @@ func main() {
 		for _, model := range mobile.AllModels() {
 			mv, err := sweep.MobileVsStatic(model, *f, msr.FTA{}, opt)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Print(mv.Render())
 			ok = ok && mv.Ok()
@@ -133,7 +149,7 @@ func main() {
 		for _, model := range mobile.AllModels() {
 			es, err := sweep.EpsilonSweep(model, *f, msr.FTM{}, 5, opt)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Print(es.Render())
 			ok = ok && es.WithinPrediction()
@@ -146,7 +162,7 @@ func main() {
 		for _, model := range mobile.AllModels() {
 			sr, err := sweep.SeedRobustness(model, *f, 40, msr.FTM{}, opt)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Print(sr.Render())
 			ok = ok && sr.Ok()
@@ -154,6 +170,9 @@ func main() {
 		fmt.Println()
 	}
 
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
+	}
 	if !ok {
 		fmt.Println("WARNING: at least one artifact deviates from the paper's predicted shape")
 		os.Exit(1)

@@ -96,6 +96,31 @@
 // snapshot path), which doubles as the kernel's naive cross-check
 // reference in internal/proptest.
 //
+// # Batched adversary consultation and the parallel vote loop
+//
+// The engines consult the adversary once per round, not once per
+// (sender, receiver) pair: after classifying senders they make a single
+// RoundAdversary.RoundDirectives call, handing the adversary the whole
+// round (RoundView — the omniscient view plus the faulty and cured
+// sender sets) and a Directives block to fill with one value-or-omission
+// entry per scripted pair (omission by default). Native implementations
+// must consume shared randomness in the pinned historical order — senders
+// ascending, receivers ascending within each sender. All built-in
+// adversaries are native; a custom per-pair Adversary remains fully
+// supported and is lifted onto the batched surface automatically by a
+// bit-identical adapter (AdaptAdversary) that replays exactly that order,
+// so the determinism guarantee covers both routes. The RoundView and
+// Directives are engine scratch: adversaries that retain views across
+// calls must declare mobile.ViewRetainer, which survives adapter
+// wrapping.
+//
+// With directives prebuilt, per-receiver votes are mutually independent,
+// and the kernel path fans the vote loop out over Config.VoteWorkers
+// goroutines (0 = auto: GOMAXPROCS workers above the size crossover,
+// sequential otherwise). Workers own disjoint scratch and vote slots, so
+// results are bit-identical for every worker count — the golden matrix
+// and the randomized proptest space are asserted at multiple counts.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record, and the examples/ directory for runnable
 // scenarios (sensor fusion, clock synchronization, robot gathering).

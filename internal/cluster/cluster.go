@@ -358,6 +358,14 @@ type Node struct {
 	base   []float64
 	patch  []float64
 	kern   msr.Kernel
+
+	// dirVals/dirOmit are the node's per-round send directives, indexed
+	// like dests: the deployment analogue of the simulator's bulk
+	// Directives block. planSend derives the whole round's script from the
+	// schedule in one pass; the transport batch below merely materializes
+	// it into messages.
+	dirVals []float64
+	dirOmit []bool
 }
 
 // NewNode wires a node to its link.
@@ -406,6 +414,8 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 	nd.out = make([]transport.Message, 0, nd.expect)
 	nd.base = make([]float64, 0, nd.expect)
 	nd.patch = make([]float64, 0, nd.expect)
+	nd.dirVals = make([]float64, nd.expect)
+	nd.dirOmit = make([]bool, nd.expect)
 	return nd, nil
 }
 
@@ -495,55 +505,74 @@ func (nd *Node) classifySenders(occ, prevOcc []int) {
 	}
 }
 
-// send broadcasts this round's messages according to the node's role: the
-// whole send phase is built into one batch and handed to the link in a
-// single call when it supports batching (one lock/write cycle per round
-// instead of one per message on the TCP path).
-func (nd *Node) send(round int, occupied, cured bool) error {
-	nd.out = nd.out[:0]
-	for _, to := range nd.dests {
-		m := transport.Message{Round: round, To: to, Value: nd.vote}
+// planSend derives this round's complete send script from the node's
+// schedule-given role in one pass, filling the per-destination directive
+// buffers. The role is fixed for the whole round — occupied, cured, or
+// correct — so the (value, omit) decision is a pure function of the role
+// and the destination, mirroring the simulator's once-per-round batched
+// adversary consultation.
+func (nd *Node) planSend(occupied, cured bool) {
+	for i, to := range nd.dests {
+		v, omit := nd.vote, false
 		switch {
 		case occupied && nd.cfg.Crash:
-			m.Omitted = true
+			omit = true
 		case occupied && nd.cfg.CampBoundary > 0:
 			// Splitter-style camp attack: hold the two halves apart.
 			if to < nd.cfg.CampBoundary {
-				m.Value = nd.cfg.AttackLo
+				v = nd.cfg.AttackLo
 			} else {
-				m.Value = nd.cfg.AttackHi
+				v = nd.cfg.AttackHi
 			}
 		case occupied:
 			// Byzantine: per-receiver split values at the spec extremes.
 			if to%2 == 0 {
-				m.Value = nd.vote - nd.cfg.InputRange
+				v = nd.vote - nd.cfg.InputRange
 			} else {
-				m.Value = nd.vote + nd.cfg.InputRange
+				v = nd.vote + nd.cfg.InputRange
 			}
 		case cured:
 			switch nd.cfg.Model {
 			case mobile.M1Garay:
-				m.Omitted = true // aware: stays silent one round
+				omit = true // aware: stays silent one round
 			case mobile.M3Sasaki:
 				// Poisoned queue: per-receiver garbage (camp-targeted
 				// when the camp attack is on — the departing agent
 				// loaded the queue).
 				switch {
 				case nd.cfg.CampBoundary > 0 && to < nd.cfg.CampBoundary:
-					m.Value = nd.cfg.AttackLo
+					v = nd.cfg.AttackLo
 				case nd.cfg.CampBoundary > 0:
-					m.Value = nd.cfg.AttackHi
+					v = nd.cfg.AttackHi
 				case to%2 == 0:
-					m.Value = nd.vote - nd.cfg.InputRange/2
+					v = nd.vote - nd.cfg.InputRange/2
 				default:
-					m.Value = nd.vote + nd.cfg.InputRange/2
+					v = nd.vote + nd.cfg.InputRange/2
 				}
 			default:
 				// M2: broadcasts the corrupted stored value (symmetric);
 				// M4: cured nodes behave correctly.
 			}
 		}
-		nd.out = append(nd.out, m)
+		nd.dirVals[i] = v
+		nd.dirOmit[i] = omit
+	}
+}
+
+// send materializes the round's planned directives into messages and hands
+// the whole batch to the link in a single call when it supports batching
+// (one lock/write cycle per round instead of one per message on the TCP
+// path).
+func (nd *Node) send(round int, occupied, cured bool) error {
+	nd.planSend(occupied, cured)
+	nd.out = nd.out[:0]
+	for i, to := range nd.dests {
+		nd.out = append(nd.out, transport.Message{
+			Round:   round,
+			To:      to,
+			Value:   nd.dirVals[i],
+			Omitted: nd.dirOmit[i],
+		})
 	}
 	var err error
 	if bs, ok := nd.link.(transport.BatchSender); ok {

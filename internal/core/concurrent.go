@@ -12,8 +12,9 @@ import (
 
 // RunConcurrent executes the protocol with one goroutine per process
 // exchanging real messages over channels, coordinated into synchronous
-// rounds. The adversary is driven by the coordinator in exactly the order
-// the deterministic engine uses, and every process's computation is backed
+// rounds. The adversary is consulted by the coordinator exactly as the
+// deterministic engine consults it — one batched RoundDirectives call per
+// round over the same plan — and every process's computation is backed
 // by the messages its goroutine actually received: on the kernel path each
 // worker first verifies its received row against the round's shared plan
 // (value-for-value for symmetric senders, silence for silent ones) and

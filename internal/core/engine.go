@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"mbfaa/internal/mixedmode"
 	"mbfaa/internal/mobile"
 	"mbfaa/internal/multiset"
 	"mbfaa/internal/prng"
@@ -97,6 +96,14 @@ type scratch struct {
 	values     []float64      // computeVote's non-omitted value buffer (snapshot path)
 	uValues    []float64      // planSendPhase's U accumulation buffer
 
+	// Batched-consultation state: the per-round directives block the
+	// adversary fills in one call, the RoundView wrapper handed to it, and
+	// the ascending faulty/cured sender lists the wrapper exposes.
+	dirs  mobile.Directives
+	rview mobile.RoundView
+	fList []int
+	cList []int
+
 	// Base+patch kernel state: the per-round plan (base, classification,
 	// patch block) plus the per-receiver voting buffers. The kernel replaced
 	// the scratch observation matrix — the hot path never materializes n×n
@@ -104,6 +111,19 @@ type scratch struct {
 	kern   kernelPlan
 	pvals  []float64 // per-receiver patch values (≤ 2f per round)
 	merged []float64 // base+patch merge output (≤ n values)
+
+	// voteBufs are the parallel vote loop's per-worker patch/merge buffers,
+	// sized lazily on the first parallel round (the sequential path uses
+	// pvals/merged above and never touches them).
+	voteBufs []voteBuf
+}
+
+// voteBuf is one vote worker's private state: its patch and merge scratch
+// plus the first error its receiver range produced.
+type voteBuf struct {
+	pvals  []float64
+	merged []float64
+	err    error
 }
 
 // ensure sizes every buffer for n processes. Flat buffers grow
@@ -121,9 +141,25 @@ func (sc *scratch) ensure(n int) error {
 		sc.uValues = make([]float64, 0, n)
 		sc.pvals = make([]float64, 0, n)
 		sc.merged = make([]float64, 0, n)
+		sc.fList = make([]int, 0, n)
+		sc.cList = make([]int, 0, n)
+		sc.voteBufs = nil // re-sized lazily against the new n
 		sc.n = n
 	}
 	return nil
+}
+
+// ensureVoteBufs sizes the per-worker vote buffers for the parallel loop.
+func (sc *scratch) ensureVoteBufs(workers, n int) {
+	for len(sc.voteBufs) < workers {
+		sc.voteBufs = append(sc.voteBufs, voteBuf{})
+	}
+	for i := 0; i < workers; i++ {
+		if cap(sc.voteBufs[i].pvals) < n {
+			sc.voteBufs[i].pvals = make([]float64, 0, n)
+			sc.voteBufs[i].merged = make([]float64, 0, n)
+		}
+	}
 }
 
 // Runner executes protocol runs while recycling all per-round scratch
@@ -194,6 +230,12 @@ type runState struct {
 	rec    *trace.Recorder
 	sc     *scratch
 
+	// batch is cfg.Adversary resolved to its batched form, once per run:
+	// the adversary itself when it implements mobile.RoundAdversary
+	// natively (every built-in does), the per-pair compatibility Adapter
+	// otherwise. All send-phase consultation flows through it.
+	batch mobile.RoundAdversary
+
 	votes    []float64
 	newVotes []float64
 	states   []mobile.State
@@ -232,9 +274,12 @@ func newRunState(cfg Config, sc *scratch) (*runState, error) {
 		newVotes: sc.newVotes[:cfg.N],
 		states:   sc.states[:cfg.N],
 		faulty:   &sc.faulty,
+		batch:    mobile.AsRoundAdversary(cfg.Adversary),
 		snapshot: cfg.OnRound != nil,
 	}
-	if vr, ok := cfg.Adversary.(mobile.ViewRetainer); ok && vr.RetainsView() {
+	// RetainsViews looks through the adapter, so a wrapped view-retaining
+	// adversary still gets its defensive copies.
+	if mobile.RetainsViews(cfg.Adversary) {
 		st.copyViews = true
 	}
 	copy(st.votes, cfg.Inputs)
@@ -389,33 +434,39 @@ func (st *runState) runRound(round int) error {
 
 	// Receive + compute for every process not faulty during computation.
 	// On the kernel path each receiver gathers its O(f) patch, sorts it,
-	// and merges it linearly into the round's shared sorted base; on the
-	// snapshot path it sorts its full matrix row as before. Both produce
-	// bit-identical votes (the golden suite pins this).
+	// and merges it linearly into the round's shared sorted base — a loop
+	// that parallelizes over receivers when the system is large enough
+	// (see computeVotesKernel); on the snapshot path it sorts its full
+	// matrix row as before. All paths produce bit-identical votes (the
+	// golden suite pins this at multiple worker counts).
 	tau := cfg.Tau()
-	for i := 0; i < cfg.N; i++ {
-		if st.faulty.has(i) {
-			st.newVotes[i] = math.NaN()
-			continue
+	if plan.kern != nil {
+		if err := st.computeVotesKernel(round, tau, plan.kern); err != nil {
+			return err
 		}
-		var v float64
-		var err error
-		if plan.kern != nil {
-			patch := plan.kern.patchInto(st.sc.pvals[:0], i)
-			v, err = computeVoteKernel(cfg.Algorithm, tau, plan.kern.base, patch, st.sc.merged[:0], st.votes[i])
-		} else {
-			var obsRow []mixedmode.Observation
-			obsRow, err = plan.matrix.Row(i)
+	} else {
+		for i := 0; i < cfg.N; i++ {
+			if st.faulty.has(i) {
+				st.newVotes[i] = math.NaN()
+				continue
+			}
+			obsRow, err := plan.matrix.Row(i)
 			if err != nil {
 				return err
 			}
-			v, err = computeVote(cfg.Algorithm, tau, obsRow, st.votes[i], st.sc.values[:0])
+			v, err := computeVote(cfg.Algorithm, tau, obsRow, st.votes[i], st.sc.values[:0])
+			if err != nil {
+				return fmt.Errorf("core: round %d process %d: %w", round, i, err)
+			}
+			st.newVotes[i] = v
 		}
-		if err != nil {
-			return fmt.Errorf("core: round %d process %d: %w", round, i, err)
+	}
+	if st.rec.Enabled() {
+		for i := 0; i < cfg.N; i++ {
+			if !st.faulty.has(i) {
+				st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: st.newVotes[i]})
+			}
 		}
-		st.newVotes[i] = v
-		st.rec.Record(trace.Event{Round: round, Kind: trace.KindCompute, From: i, To: -1, Value: v})
 	}
 
 	st.finishRound(round, sendStates, plan)

@@ -8,6 +8,7 @@ import (
 
 	"mbfaa/internal/core"
 	"mbfaa/internal/golden"
+	"mbfaa/internal/mobile"
 )
 
 // The golden-determinism suite pins the exact outputs of Run and
@@ -84,6 +85,50 @@ func TestGoldenDigestsConcurrent(t *testing.T) {
 		}
 		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
 			t.Errorf("%s: concurrent digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
+		}
+	}
+}
+
+// TestGoldenDigestsAdapter re-runs the whole matrix with every adversary
+// wrapped in the compatibility Adapter, forcing the engines to consult it
+// through the historical per-pair interface replayed by the batched
+// surface. The 192 pinned digests must reproduce bit-for-bit: the adapter
+// is the guarantee that third-party per-pair adversaries see no semantic
+// change from the batched-consultation refactor.
+func TestGoldenDigestsAdapter(t *testing.T) {
+	r := core.NewRunner()
+	for _, gc := range goldenCases(t) {
+		cfg := gc.Cfg
+		cfg.Adversary = mobile.Adapt(cfg.Adversary)
+		res, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.Key, err)
+		}
+		if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+			t.Errorf("%s: adapter digest 0x%016x, pinned 0x%016x", gc.Key, d, golden.Digests[gc.Key])
+		}
+	}
+}
+
+// TestGoldenDigestsParallelVote re-runs the whole matrix through the
+// parallel vote loop at two explicit worker counts (explicit settings
+// bypass the size crossover, so even the small golden systems fan out).
+// The pinned digests must reproduce for every worker count — the loop
+// partitions receivers over an immutable plan, so the partition must not
+// be observable.
+func TestGoldenDigestsParallelVote(t *testing.T) {
+	r := core.NewRunner()
+	for _, workers := range []int{2, 4} {
+		for _, gc := range goldenCases(t) {
+			cfg := gc.Cfg
+			cfg.VoteWorkers = workers
+			res, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", gc.Key, workers, err)
+			}
+			if d := golden.Digest(res); d != golden.Digests[gc.Key] {
+				t.Errorf("%s: workers=%d digest 0x%016x, pinned 0x%016x", gc.Key, workers, d, golden.Digests[gc.Key])
+			}
 		}
 	}
 }

@@ -46,7 +46,8 @@ const (
 // in the Runner's scratch and grow monotonically; a plan is valid until the
 // next round is planned. The concurrent engine shares the plan read-only
 // with its worker goroutines (the channel send/receive pairs order every
-// write before every read).
+// write before every read), and the deterministic engine's parallel vote
+// loop shares it read-only with its vote workers.
 type kernelPlan struct {
 	n int
 	// base holds the symmetric senders' values, sorted ascending after
@@ -57,10 +58,10 @@ type kernelPlan struct {
 	// M4's mid-round relocation, plans do not).
 	kinds  []senderKind
 	symVal []float64
-	// asym lists the asymmetric senders in ascending order; obs[k*n+r] is
-	// what receiver r observes from sender asym[k].
-	asym []int
-	obs  []mixedmode.Observation
+	// dirs is the round's adversarial send script — the Directives block
+	// the batched consultation filled. Its sender list is exactly the
+	// plan's asymmetric senders, ascending.
+	dirs *mobile.Directives
 }
 
 // reset prepares the plan for a round of n senders, recycling all buffers.
@@ -76,8 +77,7 @@ func (kp *kernelPlan) reset(n int) {
 		kp.kinds[i] = 0
 	}
 	kp.base = kp.base[:0]
-	kp.asym = kp.asym[:0]
-	kp.obs = kp.obs[:0]
+	kp.dirs = nil
 }
 
 // addSymmetric registers sender as broadcasting v to every receiver.
@@ -87,36 +87,13 @@ func (kp *kernelPlan) addSymmetric(sender int, v float64) {
 	kp.base = append(kp.base, v)
 }
 
-// addAsymmetric registers sender as adversary-scripted and returns its
-// patch-block index; the caller records exactly n observations for it.
-func (kp *kernelPlan) addAsymmetric(sender int) int {
-	kp.kinds[sender] = kindAsymmetric
-	kp.asym = append(kp.asym, sender)
-	return len(kp.asym) - 1
-}
-
-// recordObs appends the next receiver's observation for the asymmetric
-// sender currently being scripted, sanitising NaN into an omission exactly
-// as the matrix path's recordAdversarial does.
-func (kp *kernelPlan) recordObs(val float64, omit bool) {
-	if omit || math.IsNaN(val) {
-		kp.obs = append(kp.obs, mixedmode.Observation{Omitted: true})
-		return
-	}
-	kp.obs = append(kp.obs, mixedmode.Observation{Value: val})
-}
-
 // sealBase sorts the base; after it the plan is ready for voting.
 func (kp *kernelPlan) sealBase() { sort.Float64s(kp.base) }
 
-// patchInto appends receiver's non-omitted patch values to dst.
+// patchInto appends receiver's non-omitted patch values to dst: the
+// receiver's row of the directives block, which is contiguous there.
 func (kp *kernelPlan) patchInto(dst []float64, receiver int) []float64 {
-	for k := range kp.asym {
-		if o := kp.obs[k*kp.n+receiver]; !o.Omitted {
-			dst = append(dst, o.Value)
-		}
-	}
-	return dst
+	return kp.dirs.AppendRow(dst, receiver)
 }
 
 // scriptRow rebuilds asymmetric sender's outgoing messages for the
@@ -124,35 +101,38 @@ func (kp *kernelPlan) patchInto(dst []float64, receiver int) []float64 {
 // worker goroutine that drains it at its own pace, so it is freshly
 // allocated rather than scratch-backed.
 func (kp *kernelPlan) scriptRow(sender, round int) ([]message, error) {
-	k := sort.SearchInts(kp.asym, sender)
-	if k >= len(kp.asym) || kp.asym[k] != sender {
+	k, ok := kp.dirs.Index(sender)
+	if !ok {
 		return nil, fmt.Errorf("core: sender %d not in the plan's asymmetric set", sender)
 	}
 	out := make([]message, kp.n)
 	for j := 0; j < kp.n; j++ {
-		o := kp.obs[k*kp.n+j]
-		out[j] = message{round: round, from: sender, value: o.Value, omitted: o.Omitted}
+		v, omit := kp.dirs.At(k, j)
+		out[j] = message{round: round, from: sender, value: v, omitted: omit}
 	}
 	return out, nil
 }
 
-// planKernelSendPhase is planSendPhase's hot-path twin: it consults the
-// adversary in exactly the same fixed order — senders ascending, receivers
-// ascending within each scripted sender — but emits the base+patch form
-// and never touches an observation matrix. U is accumulated (over scratch)
-// only when the checkers will read it.
+// planKernelSendPhase is planSendPhase's hot-path twin: it classifies every
+// sender in one ascending pass, then obtains the whole adversarial script
+// in a single batched RoundDirectives consultation, and emits the
+// base+patch form without ever touching an observation matrix. U is
+// accumulated (over scratch) only when the checkers will read it.
 func (st *runState) planKernelSendPhase(round int) (plannedRound, error) {
 	cfg := st.cfg
 	votes, states := st.votes, st.states
 	kp := &st.sc.kern
 	kp.reset(cfg.N)
+	d := &st.sc.dirs
+	d.Reset(cfg.N)
+	faulty := st.sc.fList[:0]
+	cured := st.sc.cList[:0]
 	needU := st.report != nil
 	var uValues []float64
 	if needU {
 		uValues = st.sc.uValues[:0]
 	}
 
-	view := st.borrowView(round, phaseSend)
 	for sender := 0; sender < cfg.N; sender++ {
 		switch states[sender] {
 		case mobile.StateCorrect:
@@ -161,11 +141,11 @@ func (st *runState) planKernelSendPhase(round int) (plannedRound, error) {
 			}
 			kp.addSymmetric(sender, votes[sender])
 		case mobile.StateFaulty:
-			kp.addAsymmetric(sender)
-			for receiver := 0; receiver < cfg.N; receiver++ {
-				kp.recordObs(cfg.Adversary.FaultyValue(view, sender, receiver))
-			}
+			kp.kinds[sender] = kindAsymmetric
+			faulty = append(faulty, sender)
+			d.AddSender(sender, false)
 		case mobile.StateCured:
+			cured = append(cured, sender)
 			switch cfg.Model {
 			case mobile.M1Garay:
 				// Aware and silent: no receiver observes anything.
@@ -173,10 +153,8 @@ func (st *runState) planKernelSendPhase(round int) (plannedRound, error) {
 			case mobile.M2Bonnet:
 				kp.addSymmetric(sender, votes[sender])
 			case mobile.M3Sasaki:
-				kp.addAsymmetric(sender)
-				for receiver := 0; receiver < cfg.N; receiver++ {
-					kp.recordObs(cfg.Adversary.QueueValue(view, sender, receiver))
-				}
+				kp.kinds[sender] = kindAsymmetric
+				d.AddSender(sender, true)
 			case mobile.M4Buhrman:
 				return plannedRound{}, fmt.Errorf("core: cured process %d during an M4 send phase", sender)
 			}
@@ -184,6 +162,8 @@ func (st *runState) planKernelSendPhase(round int) (plannedRound, error) {
 			return plannedRound{}, fmt.Errorf("core: process %d in invalid state %v", sender, states[sender])
 		}
 	}
+	st.consultRound(round, faulty, cured, d)
+	kp.dirs = d
 	kp.sealBase()
 	plan := plannedRound{kern: kp}
 	if needU {
@@ -194,6 +174,22 @@ func (st *runState) planKernelSendPhase(round int) (plannedRound, error) {
 		plan.u = u
 	}
 	return plan, nil
+}
+
+// consultRound performs the round's single adversary consultation: it seals
+// the directives block (all entries omitted) and hands the batched
+// RoundView to the run's RoundAdversary to fill it. The view is the same
+// zero-copy send-phase snapshot the per-pair path always consulted over,
+// and the fault lists live in scratch like everything else the adversary
+// sees — the no-retention contract covers them.
+func (st *runState) consultRound(round int, faulty, cured []int, d *mobile.Directives) {
+	d.Seal()
+	st.sc.rview = mobile.RoundView{
+		View:   st.borrowView(round, phaseSend),
+		Faulty: faulty,
+		Cured:  cured,
+	}
+	st.batch.RoundDirectives(&st.sc.rview, d)
 }
 
 // computeVoteKernel is computeVote over the base+patch form: sort the O(f)

@@ -130,9 +130,12 @@ func (st *runState) freshView(round int, phase uint64) *mobile.View {
 }
 
 // planSendPhase computes one round's send phase. The adversary is consulted
-// in a fixed order — senders ascending, receivers ascending within each
-// scripted sender — so that randomized adversaries behave identically in
-// both engines and on both plan representations.
+// exactly once, through the batched RoundAdversary surface, with the
+// consultation order inside the directives block pinned — senders
+// ascending, receivers ascending within each scripted sender — so that
+// randomized adversaries behave identically in both engines and on both
+// plan representations (and identically to the historical per-pair calls,
+// which the compatibility Adapter replays in that same order).
 //
 // Send semantics per state (paper §3 and Lemmas 1–4):
 //
@@ -164,7 +167,10 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 	expected := make([]float64, cfg.N)
 	var uValues []float64
 
-	view := st.borrowView(round, phaseSend)
+	d := &st.sc.dirs
+	d.Reset(cfg.N)
+	faulty := st.sc.fList[:0]
+	cured := st.sc.cList[:0]
 	for sender := 0; sender < cfg.N; sender++ {
 		switch states[sender] {
 		case mobile.StateCorrect:
@@ -177,14 +183,11 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 			}
 		case mobile.StateFaulty:
 			expected[sender] = math.NaN()
-			for receiver := 0; receiver < cfg.N; receiver++ {
-				val, omit := cfg.Adversary.FaultyValue(view, sender, receiver)
-				if err := recordAdversarial(matrix, receiver, sender, val, omit); err != nil {
-					return plannedRound{}, err
-				}
-			}
+			faulty = append(faulty, sender)
+			d.AddSender(sender, false)
 		case mobile.StateCured:
 			expected[sender] = math.NaN()
+			cured = append(cured, sender)
 			switch cfg.Model {
 			case mobile.M1Garay:
 				// Aware and silent: every entry stays Omitted.
@@ -195,12 +198,7 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 					}
 				}
 			case mobile.M3Sasaki:
-				for receiver := 0; receiver < cfg.N; receiver++ {
-					val, omit := cfg.Adversary.QueueValue(view, sender, receiver)
-					if err := recordAdversarial(matrix, receiver, sender, val, omit); err != nil {
-						return plannedRound{}, err
-					}
-				}
+				d.AddSender(sender, true)
 			case mobile.M4Buhrman:
 				return plannedRound{}, fmt.Errorf("core: cured process %d during an M4 send phase", sender)
 			}
@@ -208,6 +206,24 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 			return plannedRound{}, fmt.Errorf("core: process %d in invalid state %v", sender, states[sender])
 		}
 	}
+
+	// One batched consultation fills the adversarial entries; Directives.Set
+	// already sanitised NaN into omissions, so non-omitted entries transfer
+	// to the matrix unconditionally.
+	st.consultRound(round, faulty, cured, d)
+	for k, m := 0, d.Len(); k < m; k++ {
+		sender := d.Sender(k)
+		for receiver := 0; receiver < cfg.N; receiver++ {
+			val, omit := d.At(k, receiver)
+			if omit {
+				continue // entry remains Omitted
+			}
+			if err := matrix.Record(receiver, sender, mixedmode.Observation{Value: val}); err != nil {
+				return plannedRound{}, err
+			}
+		}
+	}
+
 	plan := plannedRound{matrix: matrix, expected: expected}
 	u, err := multiset.FromOwned(uValues)
 	if err != nil {
@@ -215,15 +231,6 @@ func (st *runState) planSendPhase(round int) (plannedRound, error) {
 	}
 	plan.u = u
 	return plan, nil
-}
-
-// recordAdversarial stores an adversary-chosen observation, sanitising NaN
-// (which has no place in a multiset) into an omission.
-func recordAdversarial(m *mixedmode.Matrix, receiver, sender int, val float64, omit bool) error {
-	if omit || math.IsNaN(val) {
-		return nil // entry remains Omitted
-	}
-	return m.Record(receiver, sender, mixedmode.Observation{Value: val})
 }
 
 // computeVote applies the voting function to one receiver's observation

@@ -60,6 +60,13 @@ func (Stationary) QueueValue(v *View, cured, receiver int) (float64, bool) {
 	return campValue(v, receiver), false
 }
 
+// RoundDirectives implements RoundAdversary: the camp value depends only on
+// the receiver, so it is evaluated once per receiver and broadcast across
+// the scripted senders.
+func (Stationary) RoundDirectives(rv *RoundView, d *Directives) {
+	fillColumns(d, func(receiver int) float64 { return campValue(rv.View, receiver) })
+}
+
 // Rotating sweeps the agents across the ring: in round r the agents occupy
 // processes (r·f+i) mod n. Every process is infected recurrently, which is
 // the schedule that exercises the "every process may be corrupted during an
@@ -107,6 +114,12 @@ func (Rotating) LeaveBehind(v *View, p int) float64 {
 // QueueValue implements Adversary.
 func (Rotating) QueueValue(v *View, cured, receiver int) (float64, bool) {
 	return campValue(v, receiver), false
+}
+
+// RoundDirectives implements RoundAdversary: one camp-value evaluation per
+// receiver, broadcast across the scripted senders.
+func (Rotating) RoundDirectives(rv *RoundView, d *Directives) {
+	fillColumns(d, func(receiver int) float64 { return campValue(rv.View, receiver) })
 }
 
 // Random places agents uniformly and sends uniform values spanning slightly
@@ -164,6 +177,29 @@ func (r Random) QueueValue(v *View, cured, receiver int) (float64, bool) {
 	return r.FaultyValue(v, cured, receiver)
 }
 
+// RoundDirectives implements RoundAdversary. The Rng stream must be
+// consumed in exactly the pinned per-pair order — senders ascending,
+// receivers ascending — so the loop mirrors FaultyValue draw for draw
+// (QueueValue is the same rule), inlined to skip the per-pair call
+// overhead.
+func (Random) RoundDirectives(rv *RoundView, d *Directives) {
+	v := rv.View
+	for k, m := 0, d.Len(); k < m; k++ {
+		for r, n := 0, d.N(); r < n; r++ {
+			if v.Rng.Bool(0.1) {
+				continue // omission: the entry is already omitted
+			}
+			lo, hi, ok := v.CorrectRange()
+			if !ok {
+				d.Set(k, r, v.Rng.Range(-1, 1))
+				continue
+			}
+			pad := (hi - lo) / 2
+			d.Set(k, r, v.Rng.Range(lo-pad, hi+pad))
+		}
+	}
+}
+
 // Crash makes every faulty process mute: the benign-only control. Runs
 // under Crash isolate the cost of omissions (and, for M2, of corrupted
 // cured state) from active Byzantine interference.
@@ -195,9 +231,13 @@ func (Crash) LeaveBehind(v *View, p int) float64 {
 // QueueValue implements Adversary: the queue is empty (omission).
 func (Crash) QueueValue(v *View, cured, receiver int) (float64, bool) { return 0, true }
 
+// RoundDirectives implements RoundAdversary: every entry stays omitted,
+// which is the block's post-Seal default, so there is nothing to write.
+func (Crash) RoundDirectives(rv *RoundView, d *Directives) {}
+
 var (
-	_ Adversary = Stationary{}
-	_ Adversary = Rotating{}
-	_ Adversary = Random{}
-	_ Adversary = Crash{}
+	_ RoundAdversary = Stationary{}
+	_ RoundAdversary = Rotating{}
+	_ RoundAdversary = Random{}
+	_ RoundAdversary = Crash{}
 )

@@ -80,6 +80,15 @@ func (v *View) CorrectRange() (lo, hi float64, ok bool) {
 // buffers are recycled). An adversary that needs to retain views declares
 // it by implementing ViewRetainer, which restores defensively copied
 // snapshots at the cost of per-call allocations.
+//
+// The per-pair send methods (FaultyValue, QueueValue) are no longer the
+// engines' consultation entry point: every send phase is scripted by one
+// batched RoundDirectives call — natively when the adversary implements
+// RoundAdversary, through the bit-identical Adapter otherwise. Third-party
+// adversaries therefore keep working unchanged; implementing this
+// interface alone remains fully supported. The per-pair methods stay in
+// the contract both for the adapter and because Place/LeaveBehind-style
+// single-decision consultations still use direct calls.
 type Adversary interface {
 	// Name is the identifier used by flags and reports.
 	Name() string
@@ -125,11 +134,45 @@ type Stateful interface {
 	FreshPerRun()
 }
 
+// wrapper is implemented by adversary decorators (the Adapter) so marker
+// lookups can reach the decorated adversary.
+type wrapper interface {
+	Unwrap() Adversary
+}
+
 // IsStateful reports whether the adversary declares per-run mutable state
-// via the Stateful marker.
+// via the Stateful marker, looking through any wrappers (an Adapt-wrapped
+// splitter is as stateful as a bare one).
 func IsStateful(a Adversary) bool {
-	_, ok := a.(Stateful)
-	return ok
+	for a != nil {
+		if _, ok := a.(Stateful); ok {
+			return true
+		}
+		w, ok := a.(wrapper)
+		if !ok {
+			return false
+		}
+		a = w.Unwrap()
+	}
+	return false
+}
+
+// RetainsViews reports whether the adversary declares, via ViewRetainer,
+// that it keeps references to Views past the call that received them. Like
+// IsStateful it looks through wrappers, so the engines' defensive-copy
+// decision survives adaptation.
+func RetainsViews(a Adversary) bool {
+	for a != nil {
+		if vr, ok := a.(ViewRetainer); ok {
+			return vr.RetainsView()
+		}
+		w, ok := a.(wrapper)
+		if !ok {
+			return false
+		}
+		a = w.Unwrap()
+	}
+	return false
 }
 
 // ViewRetainer is the opt-in contract for adversaries that retain the View
@@ -170,7 +213,9 @@ func ValidatePlacement(placement []int, n, f int) ([]int, error) {
 }
 
 // ByAdversaryName constructs a registered adversary by name. Randomized
-// adversaries draw from View.Rng, so no seed is needed here.
+// adversaries draw from View.Rng, so no seed is needed here. Every
+// registered adversary implements RoundAdversary natively, so the engines
+// consult it batched without an adapter.
 func ByAdversaryName(name string) (Adversary, error) {
 	switch name {
 	case "splitter":
@@ -193,7 +238,11 @@ func ByAdversaryName(name string) (Adversary, error) {
 // AdversaryFactoryByName returns a constructor for a registered adversary
 // name: every call of the returned function yields a fresh instance, which
 // is what batch runners need for stateful adversaries. The name is resolved
-// eagerly, so an unknown name fails here, not on first use.
+// eagerly, so an unknown name fails here, not on first use. Instances are
+// resolved to their batched form: native RoundAdversary implementations
+// (all current built-ins) are returned as-is, anything else comes wrapped
+// in the per-pair Adapter, so factory consumers always hand the engines a
+// batch-consultable adversary.
 func AdversaryFactoryByName(name string) (func() Adversary, error) {
 	if _, err := ByAdversaryName(name); err != nil {
 		return nil, err
@@ -204,7 +253,7 @@ func AdversaryFactoryByName(name string) (func() Adversary, error) {
 			// Cannot happen: the name was resolved above.
 			panic(err)
 		}
-		return a
+		return AsRoundAdversary(a)
 	}, nil
 }
 

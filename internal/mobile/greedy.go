@@ -193,4 +193,17 @@ func (g *Greedy) QueueValue(v *View, cured, receiver int) (float64, bool) {
 	return g.decide(v).apply(v, receiver), false
 }
 
-var _ Adversary = (*Greedy)(nil)
+// RoundDirectives implements RoundAdversary: one lookahead decides the
+// round's rule (exactly what the per-round decide cache amortized the
+// per-pair calls to), then the rule is applied once per receiver and
+// broadcast across the scripted senders. With no scripted senders the
+// per-pair path would never have run the lookahead, so neither does this.
+func (g *Greedy) RoundDirectives(rv *RoundView, d *Directives) {
+	if d.Len() == 0 {
+		return
+	}
+	rule := g.decide(rv.View)
+	fillColumns(d, func(receiver int) float64 { return rule.apply(rv.View, receiver) })
+}
+
+var _ RoundAdversary = (*Greedy)(nil)

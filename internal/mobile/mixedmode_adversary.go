@@ -107,7 +107,38 @@ func (m *MixedMode) QueueValue(v *View, cured, receiver int) (float64, bool) {
 	return m.FaultyValue(v, cured, receiver)
 }
 
-var _ Adversary = (*MixedMode)(nil)
+// RoundDirectives implements RoundAdversary: each scripted sender's census
+// class fixes its whole column — asymmetric splits camps per receiver,
+// symmetric broadcasts hi, benign stays omitted. Pinning is skipped when no
+// sender is scripted, matching the per-pair path.
+func (m *MixedMode) RoundDirectives(rv *RoundView, d *Directives) {
+	if d.Len() == 0 {
+		return
+	}
+	v := rv.View
+	m.pin(v)
+	for k, mm := 0, d.Len(); k < mm; k++ {
+		switch m.role(d.Sender(k)) {
+		case mixedmode.ClassAsymmetric:
+			for r, n := 0, d.N(); r < n; r++ {
+				vote := v.Votes[r]
+				if vote != vote /* NaN */ || vote <= m.mid {
+					d.Set(k, r, m.lo)
+				} else {
+					d.Set(k, r, m.hi)
+				}
+			}
+		case mixedmode.ClassSymmetric:
+			for r, n := 0, d.N(); r < n; r++ {
+				d.Set(k, r, m.hi)
+			}
+		default:
+			// benign: the column stays omitted
+		}
+	}
+}
+
+var _ RoundAdversary = (*MixedMode)(nil)
 
 // MixedModeLayout returns the adversarial input assignment for a static
 // census run on n processes with values {lo, hi}: the faulty block first,

@@ -264,4 +264,17 @@ func (s *Splitter) QueueValue(v *View, cured, receiver int) (float64, bool) {
 	return s.steer(v, receiver), false
 }
 
-var _ Adversary = (*Splitter)(nil)
+// RoundDirectives implements RoundAdversary: faulty and queue values are
+// both steer(receiver), so the camp geometry is pinned once and the steering
+// rule evaluated once per receiver, broadcast across the scripted senders.
+// With no scripted senders the per-pair path would never have consulted the
+// splitter, so the pin is skipped too.
+func (s *Splitter) RoundDirectives(rv *RoundView, d *Directives) {
+	if d.Len() == 0 {
+		return
+	}
+	s.pin(rv.View)
+	fillColumns(d, func(receiver int) float64 { return s.steer(rv.View, receiver) })
+}
+
+var _ RoundAdversary = (*Splitter)(nil)

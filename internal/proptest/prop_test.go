@@ -166,6 +166,72 @@ func TestKernelMatchesNaiveReference(t *testing.T) {
 	}
 }
 
+// TestAdapterMatchesNative is the batched-consultation equivalence axis:
+// for every trial, a run whose adversary is consulted through its native
+// RoundAdversary implementation must be digest-identical to a run whose
+// adversary is wrapped in the compatibility Adapter (forcing the per-pair
+// protocol, replayed in the pinned order). The space includes the stateful
+// adversaries (splitter, greedy, mixed-mode), the omission-heavy ones
+// (crash omits everything, random omits 10%) and every model × algorithm ×
+// seed combination buildTrials enumerates.
+func TestAdapterMatchesNative(t *testing.T) {
+	runner := core.NewRunner()
+	for _, tr := range buildTrials(t) {
+		native := tr.fresh()
+		if _, ok := native.(mobile.RoundAdversary); !ok {
+			t.Fatalf("%s: built-in %s has no native RoundAdversary implementation", tr.key, native.Name())
+		}
+		nativeCfg := tr.cfg
+		nativeCfg.Adversary = native
+		nativeRes, err := runner.Run(nativeCfg)
+		if err != nil {
+			t.Fatalf("%s: native run: %v", tr.key, err)
+		}
+
+		adaptedCfg := tr.cfg
+		adaptedCfg.Adversary = mobile.Adapt(tr.fresh())
+		adaptedRes, err := runner.Run(adaptedCfg)
+		if err != nil {
+			t.Fatalf("%s: adapter run: %v", tr.key, err)
+		}
+		if nd, ad := golden.Digest(nativeRes), golden.Digest(adaptedRes); nd != ad {
+			t.Errorf("%s: native digest %x != adapter %x\nnative votes:  %v\nadapter votes: %v",
+				tr.key, nd, ad, nativeRes.Votes, adaptedRes.Votes)
+		}
+	}
+}
+
+// TestParallelVoteMatchesSequential sweeps the randomized space through the
+// parallel vote loop at two explicit worker counts and asserts digest
+// equality with the sequential loop — the worker-count invariance of the
+// per-receiver partition over the randomized configurations, complementing
+// the golden suite's pinned matrix.
+func TestParallelVoteMatchesSequential(t *testing.T) {
+	runner := core.NewRunner()
+	for _, tr := range buildTrials(t) {
+		seqCfg := tr.cfg
+		seqCfg.Adversary = tr.fresh()
+		seqCfg.VoteWorkers = 1
+		seqRes, err := runner.Run(seqCfg)
+		if err != nil {
+			t.Fatalf("%s: sequential run: %v", tr.key, err)
+		}
+		want := golden.Digest(seqRes)
+		for _, workers := range []int{2, 5} {
+			parCfg := tr.cfg
+			parCfg.Adversary = tr.fresh()
+			parCfg.VoteWorkers = workers
+			parRes, err := runner.Run(parCfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tr.key, workers, err)
+			}
+			if d := golden.Digest(parRes); d != want {
+				t.Errorf("%s: workers=%d digest %x != sequential %x", tr.key, workers, d, want)
+			}
+		}
+	}
+}
+
 // TestKernelMatchesNaiveWithCheckers repeats a slice of the space with the
 // invariant checkers enabled: the checkers read U, which the kernel path
 // accumulates separately from the base, so the verdicts — violation lists

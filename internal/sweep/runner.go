@@ -149,6 +149,7 @@ func (o Options) workerCount(jobs int) int {
 func RunJobs(jobs []Job, opt Options) ([]*core.Result, error) {
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	workers := opt.workerCount(len(jobs))
 	exec := func(r *core.Runner, i int) {
 		switch {
 		case opt.Ctx != nil && opt.Ctx.Err() != nil:
@@ -158,14 +159,24 @@ func RunJobs(jobs []Job, opt Options) ([]*core.Result, error) {
 		case jobs[i].Adversary == nil:
 			errs[i] = fmt.Errorf("nil adversary constructor")
 		default:
-			results[i], errs[i] = r.Run(jobs[i].config(i, opt))
+			cfg := jobs[i].config(i, opt)
+			if workers > 1 {
+				// The pool already saturates the cores with job-level
+				// parallelism; the engine's per-round vote loop nesting its
+				// own goroutines underneath would only add scheduling churn.
+				// VoteWorkers is result-invariant, so this is purely a
+				// scheduling decision — single-worker pools keep the
+				// engine's auto setting and parallelize inside the round.
+				cfg.VoteWorkers = 1
+			}
+			results[i], errs[i] = r.Run(cfg)
 		}
 		if opt.OnJobDone != nil {
 			opt.OnJobDone(i, results[i], errs[i])
 		}
 	}
 
-	if workers := opt.workerCount(len(jobs)); workers <= 1 {
+	if workers <= 1 {
 		r := core.NewRunner()
 		for i := range jobs {
 			exec(r, i)
