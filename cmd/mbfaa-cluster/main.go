@@ -10,6 +10,14 @@
 //	mbfaa-cluster -n 64 -transport tcp -schedule crash -f 2
 //	mbfaa-cluster -n 24 -topology ring -degree 6 -rounds 80
 //	mbfaa-cluster -n 20 -topology regular -degree 8 -f 1 -schedule rotating
+//
+// Soak mode runs agreement epochs continuously under deterministic chaos,
+// asserting the convergence bounds each epoch and printing the epoch's
+// replay seed on any violation (copy it into -chaos-seed with -epochs 1 to
+// reproduce the exact fault trace):
+//
+//	mbfaa-cluster -soak -n 8 -f 0 -schedule none -drop-rate 0.05 -corrupt-rate 0.02
+//	mbfaa-cluster -soak -epochs 5 -chaos-seed 42 -dup-rate 0.1
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -50,7 +59,16 @@ func main() {
 		subBound  = flag.Bool("allow-sub-bound", false, "deploy below the model's n > kf resilience bound (lower-bound experiments)")
 		showSpec  = flag.Bool("spec", false, "print the deployment's ClusterSpec as JSON and exit")
 		showStats = flag.Bool("stats", false, "print per-node transport counters")
-		profFlags = prof.RegisterFlags(flag.CommandLine)
+
+		soak        = flag.Bool("soak", false, "run agreement epochs continuously under chaos, asserting the convergence bounds each epoch")
+		epochs      = flag.Int("epochs", 0, "soak epoch count (0: until interrupted)")
+		dropRate    = flag.Float64("drop-rate", 0, "chaos: per-frame drop probability")
+		dupRate     = flag.Float64("dup-rate", 0, "chaos: per-frame duplication probability")
+		corruptRate = flag.Float64("corrupt-rate", 0, "chaos: per-frame corruption probability (frames fail HMAC and are rejected)")
+		reorderRate = flag.Float64("reorder-rate", 0, "chaos: per-frame reorder probability (held until the link's next send)")
+		latencyMax  = flag.Duration("latency-max", 0, "chaos: per-frame latency jitter upper bound (keep below half the round timeout)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: master seed; soak derives one campaign seed per epoch from it")
+		profFlags   = prof.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -84,10 +102,32 @@ func main() {
 		Transport:     *transport,
 		AllowSubBound: *subBound,
 	}
+	chaos := mbfaa.ChaosSpec{
+		Seed:        *chaosSeed,
+		DropRate:    *dropRate,
+		DupRate:     *dupRate,
+		CorruptRate: *corruptRate,
+		ReorderRate: *reorderRate,
+		LatencyMax:  *latencyMax,
+	}
+	if !*soak && chaos.Active() {
+		// Chaos flags on a single run attach the spec directly: one epoch,
+		// the given seed.
+		spec.Chaos = &chaos
+	}
 	if *showSpec {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(spec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *soak {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runSoak(ctx, spec, chaos, *epochs, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -142,8 +182,18 @@ func main() {
 		res.RoundsPerSecond(), res.Messages, res.MessagesPerSecond())
 	if *showStats {
 		for id, st := range res.Stats {
-			fmt.Printf("  node %-3d sent=%-6d received=%-6d omissions=%-5d rejected=%d\n",
+			fmt.Printf("  node %-3d sent=%-6d received=%-6d omissions=%-5d rejected=%d",
 				id, st.Sent, st.Received, st.Omissions, st.Rejected)
+			if res.Chaos != nil {
+				fmt.Printf(" dup=%-4d late=%-4d corrupt=%-4d partitioned=%d",
+					st.Duplicates, st.Late, st.Corrupt, st.Partitioned)
+			}
+			fmt.Println()
+		}
+		if res.Chaos != nil {
+			c := res.Chaos
+			fmt.Printf("  chaos: injected=%d (drop=%d dup=%d corrupt=%d reorder=%d delay=%d part=%d crash=%d)\n",
+				c.Total(), c.Drops, c.Duplicated, c.Corrupted, c.Reordered, c.Delayed, c.PartitionDrops, c.CrashDrops)
 		}
 	}
 	if err := stopProf(); err != nil {
@@ -152,6 +202,119 @@ func main() {
 	if !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// soakEpochSeed derives epoch's campaign seed from the master soak seed.
+// It is simply master+epoch: prng.New splitmixes the seed, so sequential
+// seeds yield decorrelated streams, and the additive form makes the printed
+// epoch seed directly replayable — `-soak -epochs 1 -chaos-seed <epoch
+// seed>` reruns exactly the failing epoch (inputs included, they derive
+// from the same seed).
+func soakEpochSeed(master uint64, epoch int) uint64 {
+	return master + uint64(epoch)
+}
+
+// runSoak runs agreement epochs continuously under chaos until ctx is
+// cancelled or epochs (when positive) have completed. Each epoch deploys a
+// fresh cluster from base with the chaos rates seeded by soakEpochSeed,
+// re-derives the epoch's inputs from the same seed, and asserts the model's
+// convergence bounds (Converged within ε, Validity). On a violation it
+// prints the epoch's replay seed — copy it into -chaos-seed with -epochs 1
+// to reproduce the identical fault trace — and returns an error.
+func runSoak(ctx context.Context, base mbfaa.ClusterSpec, chaos mbfaa.ChaosSpec, epochs int, w io.Writer) error {
+	master := chaos.Seed
+	fmt.Fprintf(w, "soak: n=%d f=%d model=%v chaos={drop=%g dup=%g corrupt=%g reorder=%g latency<=%v} master-seed=%d epochs=%s\n",
+		base.N, base.F, base.Model, chaos.DropRate, chaos.DupRate, chaos.CorruptRate, chaos.ReorderRate,
+		chaos.LatencyMax, master, epochCount(epochs))
+	for epoch := 0; epochs <= 0 || epoch < epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(w, "soak: interrupted after %d epochs\n", epoch)
+			return nil
+		}
+		seed := soakEpochSeed(master, epoch)
+		spec := base
+		epochChaos := chaos
+		epochChaos.Seed = seed
+		spec.Chaos = &epochChaos
+		rng := prng.New(seed)
+		spec.Inputs = make([]float64, base.N)
+		for i := range spec.Inputs {
+			spec.Inputs[i] = rng.Range(0, base.InputRange)
+		}
+
+		res, err := runSoakEpoch(ctx, spec)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(w, "soak: interrupted after %d epochs\n", epoch)
+				return nil
+			}
+			var down *mbfaa.NodeDownError
+			if errors.As(err, &down) {
+				fmt.Fprintf(w, "epoch %d VIOLATION: %v\n", epoch, down)
+				printEpochStats(w, epoch, down.Partial)
+				return soakViolation(epoch, seed, err)
+			}
+			return fmt.Errorf("epoch %d (replay seed %d): %w", epoch, seed, err)
+		}
+		printEpochStats(w, epoch, res)
+		if !res.Converged || !res.Valid() {
+			fmt.Fprintf(w, "epoch %d VIOLATION: converged=%v validity=%v diameter=%.6g ε=%.2g\n",
+				epoch, res.Converged, res.Valid(), res.DecisionDiameter(), base.Epsilon)
+			return soakViolation(epoch, seed,
+				fmt.Errorf("convergence bound violated: diameter %.6g, ε %.2g", res.DecisionDiameter(), base.Epsilon))
+		}
+	}
+	fmt.Fprintf(w, "soak: %s epochs clean\n", epochCount(epochs))
+	return nil
+}
+
+// runSoakEpoch deploys and runs one epoch, always releasing the links.
+func runSoakEpoch(ctx context.Context, spec mbfaa.ClusterSpec) (*mbfaa.ClusterResult, error) {
+	dep, err := mbfaa.NewEngine().Deploy(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = dep.Close() }()
+	return dep.Run(ctx)
+}
+
+// printEpochStats writes the one-line epoch summary; res may be a partial
+// result from a NodeDownError.
+func printEpochStats(w io.Writer, epoch int, res *mbfaa.ClusterResult) {
+	if res == nil {
+		return
+	}
+	var omissions, dups, late, corrupt int64
+	for _, st := range res.Stats {
+		omissions += st.Omissions
+		dups += st.Duplicates
+		late += st.Late
+		corrupt += st.Corrupt
+	}
+	faults := "none"
+	if res.Chaos != nil {
+		faults = fmt.Sprintf("%d (drop=%d dup=%d corrupt=%d reorder=%d delay=%d part=%d crash=%d)",
+			res.Chaos.Total(), res.Chaos.Drops, res.Chaos.Duplicated, res.Chaos.Corrupted,
+			res.Chaos.Reordered, res.Chaos.Delayed, res.Chaos.PartitionDrops, res.Chaos.CrashDrops)
+	}
+	fmt.Fprintf(w, "epoch %d: converged=%v diameter=%.6g rounds=%d elapsed=%v injected=%s observed={omit=%d dup=%d late=%d corrupt=%d}\n",
+		epoch, res.Converged, res.DecisionDiameter(), res.Rounds,
+		res.Elapsed.Round(time.Millisecond), faults, omissions, dups, late, corrupt)
+}
+
+// soakViolation builds the replay-instruction error every violation exits
+// with: the epoch seed reruns the identical fault trace in isolation.
+func soakViolation(epoch int, seed uint64, err error) error {
+	return fmt.Errorf("soak violation at epoch %d: %w\nreplay this epoch: -soak -epochs 1 -chaos-seed %d (same flags otherwise)",
+		epoch, err, seed)
+}
+
+// epochCount renders the -epochs flag for logs.
+func epochCount(epochs int) string {
+	if epochs <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", epochs)
 }
 
 func modelByShort(s string) (mbfaa.Model, error) {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"mbfaa"
 	"mbfaa/internal/prof"
@@ -50,5 +55,103 @@ func TestProfilingFlags(t *testing.T) {
 	}
 	if pf.CPU != "" || pf.Mem != "heap.out" {
 		t.Errorf("profiling flags parsed to %+v", *pf)
+	}
+}
+
+// soakBase is the deployment the soak tests run: small, fast rounds,
+// in-budget chaos headroom.
+func soakBase(rounds int, eps float64) mbfaa.ClusterSpec {
+	return mbfaa.ClusterSpec{
+		Model:        mbfaa.M4,
+		N:            8,
+		F:            0,
+		Inputs:       make([]float64, 8), // placeholder; runSoak re-derives per epoch
+		Epsilon:      eps,
+		InputRange:   1,
+		FixedRounds:  rounds,
+		RoundTimeout: 60 * time.Millisecond,
+		ScheduleName: "none",
+	}
+}
+
+// TestRunSoakCleanEpochs runs a bounded soak with in-budget chaos and
+// checks every epoch passes the convergence assertion.
+func TestRunSoakCleanEpochs(t *testing.T) {
+	var out bytes.Buffer
+	chaos := mbfaa.ChaosSpec{Seed: 7, DropRate: 0.05, DupRate: 0.05, CorruptRate: 0.02}
+	if err := runSoak(context.Background(), soakBase(8, 1e-2), chaos, 2, &out); err != nil {
+		t.Fatalf("clean soak failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 epochs clean") {
+		t.Errorf("soak output missing the clean summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "epoch 1: converged=true") {
+		t.Errorf("soak output missing per-epoch stats:\n%s", out.String())
+	}
+}
+
+// TestRunSoakViolationReplaySeed forces a convergence violation (one round,
+// impossible ε) and checks the failure names the epoch's replay seed, and
+// that replaying that seed alone reproduces the violation.
+func TestRunSoakViolationReplaySeed(t *testing.T) {
+	var out bytes.Buffer
+	chaos := mbfaa.ChaosSpec{Seed: 100, DropRate: 0.05}
+	err := runSoak(context.Background(), soakBase(1, 1e-9), chaos, 5, &out)
+	if err == nil {
+		t.Fatalf("soak with 1 round and ε=1e-9 passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "-chaos-seed") {
+		t.Fatalf("violation error carries no replay instruction: %v", err)
+	}
+	// The violating epoch seed is master+epoch: replaying it as a 1-epoch
+	// soak must reproduce the violation at epoch 0.
+	var epoch int
+	if _, serr := fmt.Sscanf(err.Error(), "soak violation at epoch %d:", &epoch); serr != nil {
+		t.Fatalf("cannot parse epoch from %q: %v", err.Error(), serr)
+	}
+	replayChaos := chaos
+	replayChaos.Seed = soakEpochSeed(chaos.Seed, epoch)
+	var replay bytes.Buffer
+	rerr := runSoak(context.Background(), soakBase(1, 1e-9), replayChaos, 1, &replay)
+	if rerr == nil {
+		t.Fatalf("replay of violating seed passed:\n%s", replay.String())
+	}
+	// Same fault campaign, same inputs: the reported diameter matches.
+	wantLine := diameterOf(t, out.String(), epoch)
+	gotLine := diameterOf(t, replay.String(), 0)
+	if wantLine != gotLine {
+		t.Errorf("replay diameter %q != original %q", gotLine, wantLine)
+	}
+}
+
+// diameterOf extracts the "diameter=..." token of an epoch's summary line.
+func diameterOf(t *testing.T, output string, epoch int) string {
+	t.Helper()
+	prefix := fmt.Sprintf("epoch %d: ", epoch)
+	for _, line := range strings.Split(output, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			if strings.HasPrefix(tok, "diameter=") {
+				return tok
+			}
+		}
+	}
+	t.Fatalf("no epoch %d summary in:\n%s", epoch, output)
+	return ""
+}
+
+// TestRunSoakCancelled checks interruption surfaces as a clean stop, not a
+// violation.
+func TestRunSoakCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := runSoak(ctx, soakBase(2, 1e-2), mbfaa.ChaosSpec{Seed: 1, DropRate: 0.01}, 0, &out); err != nil {
+		t.Fatalf("cancelled soak returned %v", err)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("cancelled soak output missing interruption notice:\n%s", out.String())
 	}
 }

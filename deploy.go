@@ -2,6 +2,7 @@ package mbfaa
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -23,6 +24,19 @@ type (
 	ClusterTopology = cluster.Topology
 	// NodeStats counts one node's transport-level activity over a run.
 	NodeStats = cluster.NodeStats
+	// ChaosSpec describes a deterministic fault-injection campaign for a
+	// deployment: seeded per-link rates plus round-indexed partition and
+	// crash-recover windows. The same seed replays the same fault trace.
+	ChaosSpec = transport.ChaosSpec
+	// PartitionWindow isolates a node set for a round window [Start, End).
+	PartitionWindow = transport.PartitionWindow
+	// CrashWindow crashes one node for a round window; End <= 0 means it
+	// never recovers.
+	CrashWindow = transport.CrashWindow
+	// FaultEvent is one injected fault in a deployment's chaos trace.
+	FaultEvent = transport.FaultEvent
+	// ChaosStats totals the faults a chaos layer injected during a run.
+	ChaosStats = transport.ChaosStats
 )
 
 // defaultClusterKey authenticates frames of local demo/test TCP meshes when
@@ -88,8 +102,21 @@ type ClusterSpec struct {
 	Transport string `json:"transport,omitempty"`
 	// AllowSubBound deploys below the model's n > bound(f) resilience
 	// threshold instead of failing validation — the lower-bound
-	// experiments' escape hatch.
+	// experiments' escape hatch. It also waives the chaos fault-budget
+	// check below.
 	AllowSubBound bool `json:"allow_sub_bound,omitempty"`
+	// Chaos, when non-nil, wraps the transport in a deterministic fault
+	// injector driven by this spec. Validation requires the schedule's F
+	// plus the spec's conservative per-round fault budget to stay within
+	// the model's Table 2 bound, unless AllowSubBound opts out — injected
+	// faults consume the same resilience the mobile agents do. With no
+	// FixedRounds, the run horizon is stretched to absorb the injected
+	// loss rate and heal windows.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// RunHorizon overrides the watchdog deadline after which Run gives up
+	// on unresponsive nodes and returns a *NodeDownError. Zero derives it
+	// from the round count and RoundTimeout.
+	RunHorizon time.Duration `json:"run_horizon,omitempty"`
 
 	// Key authenticates TCP frames (all nodes must share it). Unset uses a
 	// well-known development key suitable only for local meshes. Not
@@ -186,6 +213,29 @@ func (s ClusterSpec) validate(topo ClusterTopology) error {
 		return configErrorf("FixedRounds", "negative fixed round count %d", s.FixedRounds)
 	case s.RoundTimeout <= 0:
 		return configErrorf("RoundTimeout", "round timeout %v must be positive", s.RoundTimeout)
+	case s.RunHorizon < 0:
+		return configErrorf("RunHorizon", "run horizon %v must be non-negative", s.RunHorizon)
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(s.N); err != nil {
+			return configErrorf("Chaos", "%v", err)
+		}
+		if s.Chaos.LatencyMax > s.RoundTimeout/2 {
+			return configErrorf("Chaos",
+				"latency_max %v exceeds half the %v round timeout; delayed frames would race every deadline",
+				s.Chaos.LatencyMax, s.RoundTimeout)
+		}
+		if !s.AllowSubBound && s.Chaos.Active() {
+			// Injected faults spend the same resilience the mobile agents
+			// do: budget the expected per-round losses against the model
+			// bound on top of the schedule's F.
+			if budget := s.Chaos.FaultBudget(s.N); budget > 0 {
+				if err := mobile.CheckSystem(s.Model, s.N, s.F+budget); err != nil {
+					return fmt.Errorf("chaos fault budget %d on top of f=%d: %w (lower the rates or set AllowSubBound)",
+						budget, s.F, err)
+				}
+			}
+		}
 	}
 	for i, v := range s.Inputs {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -319,6 +369,14 @@ func (s ClusterSpec) configs(topo ClusterTopology) ([]cluster.Config, error) {
 			AllowSubBound: s.AllowSubBound,
 			Crash:         crash,
 			FixedRounds:   s.FixedRounds,
+			// Fixed-duration rounds keep the cluster on one shared round
+			// clock under injected faults, making per-node stat
+			// attribution replayable (see cluster.Config.SyncRounds).
+			SyncRounds: s.Chaos.Active(),
+			// Injected drops/corruption break the lossless premise behind
+			// the exact-agreement (contraction 0) horizon; floor the
+			// contraction like a partial topology does.
+			LossyLinks: s.Chaos.Active(),
 		}
 	}
 	return cfgs, nil
@@ -358,6 +416,17 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 	if err != nil {
 		return nil, configErrorf("FixedRounds", "%v", err)
 	}
+	if spec.Chaos.Active() && spec.FixedRounds == 0 {
+		// Injected loss slows contraction and heal-bounded windows stall
+		// whole rounds: stretch the contraction-derived horizon to absorb
+		// both, and pin it into every node's config so the cluster still
+		// halts in lockstep.
+		rounds = int(math.Ceil(float64(rounds)*(1+2*(spec.Chaos.DropRate+spec.Chaos.CorruptRate)))) +
+			spec.Chaos.HealSpan()
+		for i := range cfgs {
+			cfgs[i].FixedRounds = rounds
+		}
+	}
 	d := &Deployment{spec: spec, cfgs: cfgs, topo: topo, rounds: rounds}
 	switch spec.Transport {
 	case "", "memory":
@@ -367,6 +436,20 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 		hub, err := transport.NewChannel(spec.N, 8)
 		if err != nil {
 			return nil, err
+		}
+		if spec.Chaos != nil {
+			chaos, err := transport.NewChaos(hub, spec.N, *spec.Chaos)
+			if err != nil {
+				_ = hub.Close()
+				return nil, err
+			}
+			d.chaos = chaos
+			d.links = make([]transport.Link, spec.N)
+			for i := range d.links {
+				d.links[i] = chaos.Link(i)
+			}
+			d.closer = chaos.Close // flushes hold-backs, then closes the hub
+			break
 		}
 		d.links = make([]transport.Link, spec.N)
 		for i := range d.links {
@@ -378,11 +461,7 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.links = make([]transport.Link, spec.N)
-		for i := range d.links {
-			d.links[i] = nodes[i]
-		}
-		d.closer = func() error {
+		closeMesh := func() error {
 			var first error
 			for _, nd := range nodes {
 				if err := nd.Close(); err != nil && first == nil {
@@ -391,6 +470,33 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 			}
 			return first
 		}
+		d.links = make([]transport.Link, spec.N)
+		if spec.Chaos != nil {
+			// One shared injector in front of all per-node links: faults
+			// are decided before frames hit the sockets, so the same spec
+			// drives both transports identically.
+			chaos, err := transport.NewChaos(nil, spec.N, *spec.Chaos)
+			if err != nil {
+				_ = closeMesh()
+				return nil, err
+			}
+			d.chaos = chaos
+			for i := range d.links {
+				d.links[i] = chaos.WrapLink(nodes[i], i)
+			}
+			d.closer = func() error {
+				err := chaos.Close() // flush hold-backs into the mesh first
+				if merr := closeMesh(); err == nil {
+					err = merr
+				}
+				return err
+			}
+			break
+		}
+		for i := range d.links {
+			d.links[i] = nodes[i]
+		}
+		d.closer = closeMesh
 	}
 	return d, nil
 }
@@ -403,6 +509,7 @@ type Deployment struct {
 	cfgs   []cluster.Config
 	links  []transport.Link
 	topo   ClusterTopology
+	chaos  *transport.Chaos // nil without a ChaosSpec
 	rounds int
 	ran    bool
 	closed bool
@@ -424,6 +531,29 @@ func (d *Deployment) TopologyName() string {
 // Spec returns the defaulted spec the deployment was built from.
 func (d *Deployment) Spec() ClusterSpec { return d.spec }
 
+// FaultTrace returns the chaos layer's injected-fault trace so far: every
+// directed link's events in (from, to, message-index) order. For the same
+// ChaosSpec seed and message sequence the trace is bit-for-bit identical
+// across runs — the replay contract. Nil without a ChaosSpec.
+func (d *Deployment) FaultTrace() []FaultEvent {
+	if d.chaos == nil {
+		return nil
+	}
+	return d.chaos.Trace()
+}
+
+// Horizon returns the watchdog deadline Run enforces: RunHorizon when set,
+// otherwise derived from the round count, the round timeout and the chaos
+// latency budget.
+func (d *Deployment) Horizon() time.Duration {
+	if d.spec.RunHorizon > 0 {
+		return d.spec.RunHorizon
+	}
+	// Every round costs at most one deadline; +2 rounds of slack covers
+	// startup skew (TCP dials) and the final drain.
+	return time.Duration(d.rounds+2)*d.spec.RoundTimeout + 2*time.Second
+}
+
 // Close releases the deployment's links. Safe to call more than once.
 func (d *Deployment) Close() error {
 	if d.closed {
@@ -442,10 +572,18 @@ func (d *Deployment) Close() error {
 // Cancelling the context aborts every node at its next receive or round
 // boundary. A Deployment runs once; a second Run returns an error.
 //
+// A watchdog guards the whole run (see Horizon): if any node fails to
+// finish inside it — crashed past its recovery window, wedged in its
+// transport — Run returns a *NodeDownError naming the down nodes, with the
+// surviving nodes' partial ClusterResult attached, instead of hanging.
+//
 // Unlike the simulation engines, a deployment is NOT bit-deterministic:
 // message arrival order and deadline races are real. The Result's verdict
 // fields (Converged, DecisionDiameter, Valid) are the comparable surface —
-// see the README's determinism caveats.
+// see the README's determinism caveats. Under a ChaosSpec the *injected
+// fault trace* is nonetheless bit-for-bit reproducible from the seed
+// (FaultTrace), and with latency well under the round deadline the verdict
+// surface replays too.
 func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 	if d.ran {
 		return nil, configErrorf("Deployment", "deployment already ran; Deploy a fresh one")
@@ -455,7 +593,8 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 	}
 	d.ran = true
 	start := time.Now()
-	outcomes, err := cluster.RunClusterOutcomes(ctx, d.cfgs, d.links)
+	horizon := d.Horizon()
+	outcomes, down, err := cluster.RunClusterDeadline(ctx, d.cfgs, d.links, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -464,6 +603,19 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 	n := d.spec.N
 	sched := d.cfgs[0].Schedule
 	honest := cluster.HonestAtEnd(sched, d.rounds, n)
+	// Nodes that never reached a decision don't get one attributed: down
+	// nodes, and nodes the chaos layer still holds crashed in the decision
+	// round.
+	for _, id := range down {
+		honest[id] = false
+	}
+	if d.spec.Chaos != nil {
+		for id := 0; id < n; id++ {
+			if d.spec.Chaos.CrashedAt(id, d.rounds-1) {
+				honest[id] = false
+			}
+		}
+	}
 	votes := make([]float64, n)
 	stats := make([]NodeStats, n)
 	var messages int64
@@ -516,6 +668,13 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 		Elapsed:  elapsed,
 		Messages: messages,
 	}
+	if d.chaos != nil {
+		cs := d.chaos.Stats()
+		res.Chaos = &cs
+	}
+	if len(down) > 0 {
+		return nil, &NodeDownError{Nodes: down, Horizon: horizon, Partial: res}
+	}
 	return res, nil
 }
 
@@ -527,6 +686,9 @@ type ClusterResult struct {
 	Result
 	// Stats are the per-node transport counters, indexed by node id.
 	Stats []NodeStats
+	// Chaos totals the faults the chaos layer injected during the run; nil
+	// when the deployment ran without a ChaosSpec.
+	Chaos *ChaosStats
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Messages is the total number of protocol messages sent.

@@ -1,0 +1,259 @@
+package mbfaa_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mbfaa"
+)
+
+// chaosDeploySpec is the shared base for the replay tests: drops,
+// duplication, corruption and sub-deadline latency over the in-memory
+// transport. Reordering is deliberately off — it is the one fault whose
+// *attribution* (Received vs Late) races the round deadline even on the
+// synchronous round clock, so this mix is the one that replays per-node
+// stats bit-for-bit (see ChaosSpec.ReorderRate).
+func chaosDeploySpec(seed uint64) mbfaa.ClusterSpec {
+	return mbfaa.ClusterSpec{
+		Model:        mbfaa.M4,
+		N:            8,
+		Inputs:       deployInputs(23, 8, 0, 1),
+		Epsilon:      1e-3,
+		InputRange:   1,
+		FixedRounds:  12,
+		RoundTimeout: 150 * time.Millisecond,
+		Chaos: &mbfaa.ChaosSpec{
+			Seed:        seed,
+			DropRate:    0.05,
+			DupRate:     0.05,
+			CorruptRate: 0.02,
+			LatencyMax:  20 * time.Millisecond,
+		},
+	}
+}
+
+// runChaosDeploy deploys and runs one chaos deployment, returning the
+// result and the injected-fault trace.
+func runChaosDeploy(t *testing.T, spec mbfaa.ClusterSpec) (*mbfaa.ClusterResult, []mbfaa.FaultEvent) {
+	t.Helper()
+	dep, err := mbfaa.NewEngine().Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	res, err := dep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dep.FaultTrace()
+}
+
+// TestDeployChaosReplayDeterminism is the PR's acceptance criterion: two
+// runs of the same ClusterSpec + ChaosSpec seed produce identical verdicts,
+// identical per-node NodeStats, and an identical injected-fault trace — and
+// a run within the model's fault budget still converges.
+func TestDeployChaosReplayDeterminism(t *testing.T) {
+	res1, trace1 := runChaosDeploy(t, chaosDeploySpec(42))
+	res2, trace2 := runChaosDeploy(t, chaosDeploySpec(42))
+
+	if len(trace1) == 0 {
+		t.Fatal("chaos run injected no faults; the replay assertion is vacuous")
+	}
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("fault traces diverge across same-seed runs:\n  run1: %d events\n  run2: %d events", len(trace1), len(trace2))
+	}
+	if !reflect.DeepEqual(res1.Votes, res2.Votes) {
+		t.Errorf("votes diverge across same-seed runs:\n  %v\n  %v", res1.Votes, res2.Votes)
+	}
+	if !reflect.DeepEqual(res1.Decided, res2.Decided) {
+		t.Errorf("decided sets diverge: %v vs %v", res1.Decided, res2.Decided)
+	}
+	if res1.Converged != res2.Converged {
+		t.Errorf("verdicts diverge: %v vs %v", res1.Converged, res2.Converged)
+	}
+	if !reflect.DeepEqual(res1.Stats, res2.Stats) {
+		t.Errorf("per-node stats diverge:\n  %+v\n  %+v", res1.Stats, res2.Stats)
+	}
+	if !reflect.DeepEqual(res1.Chaos, res2.Chaos) {
+		t.Errorf("chaos stats diverge: %+v vs %+v", res1.Chaos, res2.Chaos)
+	}
+
+	// Within the model's fault budget the Table 2 bounds still hold: the
+	// run must converge and stay within the correct-input range.
+	if !res1.Converged {
+		t.Errorf("in-budget chaos run did not converge (diameter %g)", res1.DecisionDiameter())
+	}
+	if !res1.Valid() {
+		t.Error("in-budget chaos run violated validity")
+	}
+
+	// A different seed injects a different campaign.
+	_, trace3 := runChaosDeploy(t, chaosDeploySpec(43))
+	if reflect.DeepEqual(trace1, trace3) {
+		t.Error("different seeds produced identical fault traces")
+	}
+
+	// Chaos losses are attributed in the per-node counters.
+	var dup, corrupt int64
+	for _, st := range res1.Stats {
+		dup += st.Duplicates
+		corrupt += st.Corrupt
+	}
+	if res1.Chaos.Duplicated > 0 && dup == 0 {
+		t.Error("injected duplicates never surfaced in NodeStats.Duplicates")
+	}
+	if res1.Chaos.Corrupted > 0 && corrupt == 0 {
+		t.Error("injected corruption never surfaced in NodeStats.Corrupt")
+	}
+}
+
+// TestDeployChaosSpecRoundTrip pins the replay workflow's serialization: a
+// ClusterSpec with a ChaosSpec survives JSON intact, so a printed seed can
+// be copied into a stored spec.
+func TestDeployChaosSpecRoundTrip(t *testing.T) {
+	spec := chaosDeploySpec(7)
+	spec.Chaos.Partitions = []mbfaa.PartitionWindow{{Start: 2, End: 4, A: []int{0, 1}}}
+	spec.Chaos.Crashes = []mbfaa.CrashWindow{{Node: 3, Start: 1, End: 2}}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mbfaa.ClusterSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Chaos, spec.Chaos) {
+		t.Fatalf("chaos spec did not round-trip:\n  %+v\n  %+v", spec.Chaos, back.Chaos)
+	}
+}
+
+// TestDeployChaosBudgetValidation pins the fault-budget gate: chaos rates
+// that push the effective per-round faults past the model's Table 2 bound
+// are rejected at Deploy time with the same ErrBelowBound chain as an
+// under-provisioned schedule, and AllowSubBound opts out.
+func TestDeployChaosBudgetValidation(t *testing.T) {
+	over := mbfaa.ClusterSpec{
+		Model:      mbfaa.M4,
+		N:          5,
+		F:          1,
+		Inputs:     deployInputs(3, 5, 0, 1),
+		Epsilon:    1e-3,
+		InputRange: 1,
+		Chaos:      &mbfaa.ChaosSpec{Seed: 1, DropRate: 0.5},
+	}
+	if _, err := mbfaa.NewEngine().Deploy(over); !errors.Is(err, mbfaa.ErrBelowBound) {
+		t.Fatalf("over-budget chaos deployed: err = %v, want ErrBelowBound", err)
+	}
+
+	over.AllowSubBound = true
+	dep, err := mbfaa.NewEngine().Deploy(over)
+	if err != nil {
+		t.Fatalf("AllowSubBound did not waive the budget check: %v", err)
+	}
+	_ = dep.Close()
+
+	bad := over
+	bad.AllowSubBound = false
+	bad.Chaos = &mbfaa.ChaosSpec{Seed: 1, DropRate: 1.5}
+	if _, err := mbfaa.NewEngine().Deploy(bad); !errors.Is(err, mbfaa.ErrSpec) {
+		t.Fatalf("rate 1.5 deployed: err = %v, want ErrSpec", err)
+	}
+
+	slow := over
+	slow.AllowSubBound = false
+	slow.Chaos = &mbfaa.ChaosSpec{Seed: 1, LatencyMax: time.Second}
+	slow.RoundTimeout = 100 * time.Millisecond
+	if _, err := mbfaa.NewEngine().Deploy(slow); !errors.Is(err, mbfaa.ErrSpec) {
+		t.Fatalf("latency past the deadline deployed: err = %v, want ErrSpec", err)
+	}
+}
+
+// TestDeployChaosNodeDown pins the watchdog surface: a run that cannot
+// finish inside its horizon returns a typed *NodeDownError with the
+// surviving partial result attached, instead of hanging.
+func TestDeployChaosNodeDown(t *testing.T) {
+	const n = 4
+	spec := mbfaa.ClusterSpec{
+		Model:        mbfaa.M4,
+		N:            n,
+		Inputs:       deployInputs(9, n, 0, 1),
+		Epsilon:      1e-3,
+		InputRange:   1,
+		FixedRounds:  50,
+		RoundTimeout: 60 * time.Millisecond,
+		RunHorizon:   400 * time.Millisecond,
+		// Node 0 never recovers: every round stalls to the full timeout and
+		// the 50-round run blows through the 400ms horizon.
+		Chaos: &mbfaa.ChaosSpec{Seed: 5, Crashes: []mbfaa.CrashWindow{{Node: 0, Start: 0}}},
+	}
+	dep, err := mbfaa.NewEngine().Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	_, err = dep.Run(context.Background())
+	if !errors.Is(err, mbfaa.ErrNodeDown) {
+		t.Fatalf("run returned %v, want ErrNodeDown", err)
+	}
+	var down *mbfaa.NodeDownError
+	if !errors.As(err, &down) {
+		t.Fatalf("error %T does not unwrap to *NodeDownError", err)
+	}
+	if len(down.Nodes) == 0 {
+		t.Error("NodeDownError names no nodes")
+	}
+	if down.Partial == nil || len(down.Partial.Stats) != n {
+		t.Fatalf("NodeDownError carries no usable partial result: %+v", down.Partial)
+	}
+	for _, id := range down.Nodes {
+		if down.Partial.Decided[id] {
+			t.Errorf("down node %d marked decided", id)
+		}
+	}
+}
+
+// TestDeployChaosHorizonStretch pins the automatic horizon stretch: with no
+// FixedRounds, injected loss rates and heal windows extend the lockstep
+// round count on every node, and the run still completes and converges.
+func TestDeployChaosHorizonStretch(t *testing.T) {
+	const n = 8
+	base := mbfaa.ClusterSpec{
+		Model:      mbfaa.M4,
+		N:          n,
+		Inputs:     deployInputs(17, n, 0, 1),
+		Epsilon:    1e-2,
+		InputRange: 1,
+	}
+	plain, err := mbfaa.NewEngine().Deploy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = plain.Close()
+
+	chaotic := base
+	chaotic.Chaos = &mbfaa.ChaosSpec{
+		Seed:       2,
+		DropRate:   0.05,
+		Partitions: []mbfaa.PartitionWindow{{Start: 1, End: 3, A: []int{0}}},
+	}
+	dep, err := mbfaa.NewEngine().Deploy(chaotic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	if dep.Rounds() <= plain.Rounds() {
+		t.Fatalf("chaos horizon %d not stretched past the plain %d", dep.Rounds(), plain.Rounds())
+	}
+	res, err := dep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("stretched chaos run did not converge (diameter %g over %d rounds)",
+			res.DecisionDiameter(), res.Rounds)
+	}
+}

@@ -43,7 +43,8 @@
 //     Result shape plus per-node transport counters and throughput. Unlike
 //     the simulation engines a deployment is not bit-deterministic — real
 //     sockets race — so the comparable surface is the verdict (Converged,
-//     DecisionDiameter, Valid), not the decision bits.
+//     DecisionDiameter, Valid), not the decision bits. The exception is a
+//     chaos deployment (below), which is engineered to replay.
 //
 // A minimal run:
 //
@@ -95,6 +96,37 @@
 // Runs with an OnRound callback keep the full matrix representation (the
 // snapshot path), which doubles as the kernel's naive cross-check
 // reference in internal/proptest.
+//
+// # The chaos layer and its determinism contract
+//
+// ClusterSpec.Chaos wraps every deployment link in a deterministic fault
+// injector (internal/transport.Chaos): per-link latency jitter, drops,
+// duplication, bounded reordering, frame corruption (mangled bytes pushed
+// through the real codec so the HMAC rejection fires — counted in
+// NodeStats.Corrupt, never delivered wrong), round-indexed partitions
+// with heal times, and per-node crash-recover windows. Faults are drawn
+// from a seeded splittable PRNG stream keyed by (directed link, message
+// index) in a fixed order, so the injected-fault trace
+// (Deployment.FaultTrace) is bit-identical for a given seed regardless
+// of scheduling.
+//
+// The stronger contract — identical verdicts, votes and per-node
+// NodeStats across same-seed runs — additionally requires the shared
+// round clock a chaos deployment enables automatically
+// (cluster.Config.SyncRounds: rounds last their full deadline, the
+// paper's synchronous model, removing cross-node round skew), no
+// reordering (a held-back frame's Received-vs-Late attribution races the
+// round deadline even on the synchronous clock), and
+// LatencyMax ≤ RoundTimeout/2. Deploy validates the chaos budget against
+// the model's Table 2 bound — ⌈(drop+corrupt)·(n−1)⌉ effective omissions
+// plus concurrent crashes and the largest partition minority must fit on
+// top of F — unless AllowSubBound is set, and stretches the round
+// horizon to cover the injected loss. A node that stays dead past the
+// run horizon surfaces as a typed *NodeDownError carrying the surviving
+// nodes' partial ClusterResult, instead of hanging the run. The
+// mbfaa-cluster -soak mode drives agreement epochs continuously under
+// chaos, asserting the Table 2 convergence bounds each epoch and
+// printing a replay seed on violation.
 //
 // # Batched adversary consultation and the parallel vote loop
 //

@@ -3,6 +3,7 @@ package mbfaa
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mbfaa/internal/mobile"
 )
@@ -23,6 +24,9 @@ var (
 	// execution backend (simulation engines and the cluster) rejects
 	// under-provisioned systems with the same error chain.
 	ErrBelowBound = mobile.ErrBelowBound
+	// ErrNodeDown is the sentinel wrapped by *NodeDownError: a deployment
+	// run where at least one node stayed dead past the run horizon.
+	ErrNodeDown = errors.New("mbfaa: node down past run horizon")
 )
 
 // ConfigError reports one invalid Spec field. It wraps ErrSpec.
@@ -77,3 +81,26 @@ func (e *SharedInstanceError) Unwrap() error { return ErrSharedInstance }
 // Table 2 replica bound, returned by CheckSystem (and by ClusterSpec and
 // cluster-config validation). It wraps ErrBelowBound.
 type BoundError = mobile.BoundError
+
+// NodeDownError reports a deployment run in which some nodes never reached
+// a decision inside the run horizon — crashed past their recovery window,
+// wedged in a non-cancellable transport call, or cancelled by the watchdog
+// while still mid-protocol. Deployment.Run returns it instead of hanging.
+// It wraps ErrNodeDown.
+type NodeDownError struct {
+	// Nodes are the ids that went down, ascending.
+	Nodes []int
+	// Horizon is the watchdog deadline the run exceeded.
+	Horizon time.Duration
+	// Partial is the result assembled from the surviving nodes: down nodes
+	// carry zeroed votes and are excluded from Decided and the verdict.
+	Partial *ClusterResult
+}
+
+// Error implements error.
+func (e *NodeDownError) Error() string {
+	return fmt.Sprintf("mbfaa: nodes %v down past the %v run horizon", e.Nodes, e.Horizon)
+}
+
+// Unwrap makes errors.Is(err, ErrNodeDown) hold.
+func (e *NodeDownError) Unwrap() error { return ErrNodeDown }

@@ -66,6 +66,33 @@ func BenchmarkClusterRound(b *testing.B) {
 		}
 	})
 
+	// The chaos arm wraps the same in-memory hub in a zero-rate Chaos layer:
+	// every frame pays the injector's bookkeeping (per-link PRNG derivation,
+	// the fault draws, the window checks) but no fault ever fires, so the
+	// delta against the bare "memory" arm is the chaos overhead itself.
+	// SyncRounds stays off — it is a Config policy, not a transport cost,
+	// and turning it on would measure deadline waits instead of the wrapper.
+	b.Run("memory-chaos-zero", func(b *testing.B) {
+		hub, err := transport.NewChannel(n, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chaos, err := transport.NewChaos(hub, n, transport.ChaosSpec{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = chaos.Close() }()
+		links := make([]transport.Link, n)
+		for i := range links {
+			links[i] = chaos.Link(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if _, err := RunCluster(context.Background(), benchConfigs(n, b.N), links); err != nil {
+			b.Fatal(err)
+		}
+	})
+
 	for _, mode := range []string{"tcp-batched", "tcp-permessage"} {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {

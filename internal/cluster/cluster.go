@@ -187,6 +187,21 @@ type Config struct {
 	AttackLo, AttackHi float64
 	// FixedRounds overrides the computed round count when positive.
 	FixedRounds int
+	// SyncRounds makes every round last the full RoundTimeout instead of
+	// closing as soon as all expected senders reported — the paper's
+	// fixed-duration synchronous round. Early exit is an optimization that
+	// assumes reliable channels: under injected loss it lets fast nodes
+	// run a full deadline ahead of lagging peers, and whether a skewed
+	// frame counts as Received or Late becomes a scheduling race. Chaos
+	// deployments set this so per-node stats replay bit-for-bit.
+	SyncRounds bool
+	// LossyLinks declares that the transport may drop or corrupt frames
+	// (the chaos layer). A full-mesh contraction of 0 ("identical
+	// multisets agree exactly in one round") assumes every correct value
+	// arrives; under loss the computed round horizon floors the
+	// contraction at 1/2, exactly as a partial topology does. Chaos
+	// deployments set this alongside SyncRounds.
+	LossyLinks bool
 }
 
 // Validate checks the node configuration. Deployments at or below the
@@ -250,7 +265,9 @@ func (c Config) Validate() error {
 // computed at the reduced multiset size with the contraction floored at
 // 1/2, because a full-mesh contraction of 0 ("identical multisets agree
 // exactly in one round") assumes full information and does not hold when
-// neighborhoods differ. This is an engineering horizon — the paper's
+// neighborhoods differ; LossyLinks applies the same floor, since dropped
+// or corrupted frames break the premise too. This is an engineering
+// horizon — the paper's
 // contraction theorem covers the full mesh only — but it is deterministic
 // from the shared config, so every node halts together, and the harness
 // reports the measured verdict either way. It returns an error when the
@@ -276,7 +293,7 @@ func (c Config) Rounds() (int, error) {
 	if !ok {
 		return 0, errors.New("cluster: algorithm has no contraction guarantee; set FixedRounds")
 	}
-	if partial && contraction < 0.5 {
+	if (partial || c.LossyLinks) && contraction < 0.5 {
 		contraction = 0.5
 	}
 	r, err := msr.RequiredRounds(c.InputRange, c.Epsilon, contraction)
@@ -317,6 +334,20 @@ type NodeStats struct {
 	// messages from non-neighbor senders here, plus the link layer's
 	// authentication, replay and misdirection drops on TCP links.
 	Rejected int64
+	// Duplicates counts frames dropped by the node's replay window: a
+	// second frame for an already-recorded (sender, round), or a frame
+	// older than the window — the chaos layer's duplication shows up here.
+	Duplicates int64
+	// Late counts frames that arrived for a round the node had already
+	// closed by deadline without recording that sender: genuinely late
+	// originals (latency, a lagging peer catching up after a crash).
+	Late int64
+	// Corrupt counts inbound frames the chaos layer corrupted and the
+	// codec rejected on this node's behalf (folded from the link).
+	Corrupt int64
+	// Partitioned counts inbound frames dropped by chaos partition cuts
+	// and crash windows addressed to this node (folded from the link).
+	Partitioned int64
 }
 
 // linkCounters is implemented by transports that count their own drops
@@ -325,6 +356,19 @@ type linkCounters interface {
 	AuthFailures() int64
 	ReplayDrops() int64
 	MisdirectDrops() int64
+}
+
+// chaosCounters is implemented by chaos-wrapped links; the node folds the
+// chaos losses addressed to it into its Corrupt and Partitioned stats.
+type chaosCounters interface {
+	IncomingCorrupt() int64
+	IncomingPartitioned() int64
+}
+
+// linkUnwrapper is implemented by wrapping links (the chaos layer) so
+// stats folding can reach the inner transport's counters too.
+type linkUnwrapper interface {
+	Unwrap() transport.Link
 }
 
 // Node is one cluster member.
@@ -337,6 +381,15 @@ type Node struct {
 	inNbr  []bool                      // expected senders (neighbors + self)
 	expect int                         // len(dests)
 	buffer map[int][]transport.Message // round → early messages
+
+	// winBits/winBase are the node's replay window: per sender, a 64-round
+	// bitmap of rounds whose frame was recorded. A second frame for a
+	// recorded (sender, round) — or one below the window — is a duplicate;
+	// an unrecorded frame for a closed round is late. Both are dropped,
+	// counted, and keep a recovering peer's catch-up traffic from ever
+	// corrupting a closed round.
+	winBits []uint64
+	winBase []int
 
 	stats NodeStats
 
@@ -377,15 +430,17 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 		return nil, errors.New("cluster: nil link")
 	}
 	nd := &Node{
-		cfg:    cfg,
-		link:   link,
-		tau:    cfg.Model.Trim(cfg.F),
-		vote:   cfg.Input,
-		buffer: make(map[int][]transport.Message),
-		inNbr:  make([]bool, cfg.N),
-		slots:  make([]transport.Message, cfg.N),
-		seen:   make([]bool, cfg.N),
-		isAsym: make([]bool, cfg.N),
+		cfg:     cfg,
+		link:    link,
+		tau:     cfg.Model.Trim(cfg.F),
+		vote:    cfg.Input,
+		buffer:  make(map[int][]transport.Message),
+		inNbr:   make([]bool, cfg.N),
+		slots:   make([]transport.Message, cfg.N),
+		seen:    make([]bool, cfg.N),
+		isAsym:  make([]bool, cfg.N),
+		winBits: make([]uint64, cfg.N),
+		winBase: make([]int, cfg.N),
 	}
 	if cfg.Topology != nil {
 		nbrs := cfg.Topology.Neighbors(cfg.ID)
@@ -420,13 +475,61 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 }
 
 // Stats returns the node's transport counters so far (valid after Run; not
-// synchronized with a concurrently executing Run).
+// synchronized with a concurrently executing Run). Link-layer counters are
+// folded in through every wrapping layer: a chaos wrapper contributes the
+// corrupt/partition losses addressed to this node, the transport below it
+// its authentication, replay and misdirection drops.
 func (nd *Node) Stats() NodeStats {
 	s := nd.stats
-	if lc, ok := nd.link.(linkCounters); ok {
-		s.Rejected += lc.AuthFailures() + lc.ReplayDrops() + lc.MisdirectDrops()
+	for link := nd.link; link != nil; {
+		if lc, ok := link.(linkCounters); ok {
+			s.Rejected += lc.AuthFailures() + lc.ReplayDrops() + lc.MisdirectDrops()
+		}
+		if cc, ok := link.(chaosCounters); ok {
+			s.Corrupt += cc.IncomingCorrupt()
+			s.Partitioned += cc.IncomingPartitioned()
+		}
+		u, ok := link.(linkUnwrapper)
+		if !ok {
+			break
+		}
+		link = u.Unwrap()
 	}
 	return s
+}
+
+// markRecorded sets the replay-window bit for (sender, round), sliding the
+// sender's 64-round window forward as needed.
+func (nd *Node) markRecorded(from, round int) {
+	base := nd.winBase[from]
+	if round >= base+64 {
+		shift := round - (base + 63)
+		if shift >= 64 {
+			nd.winBits[from] = 0
+		} else {
+			nd.winBits[from] >>= shift
+		}
+		base += shift
+		nd.winBase[from] = base
+	}
+	if round >= base {
+		nd.winBits[from] |= 1 << uint(round-base)
+	}
+}
+
+// recordedBefore reports whether a frame for (sender, round) was already
+// recorded. Rounds below the window are treated as recorded — the same
+// convention as the transport replay filter, so ancient frames count as
+// replays rather than late originals.
+func (nd *Node) recordedBefore(from, round int) bool {
+	base := nd.winBase[from]
+	if round < base {
+		return true
+	}
+	if round >= base+64 {
+		return false
+	}
+	return nd.winBits[from]&(1<<uint(round-base)) != 0
 }
 
 // Run executes the protocol and returns this node's decision, as
@@ -609,12 +712,17 @@ func (nd *Node) collect(ctx context.Context, round int) (base, patch []float64, 
 			nd.stats.Rejected++
 			return
 		}
-		if !nd.seen[m.From] {
-			count++
-			nd.stats.Received++
+		if nd.seen[m.From] {
+			// Second frame for a (sender, round) we already hold: a chaos
+			// duplicate. First frame wins.
+			nd.stats.Duplicates++
+			return
 		}
+		count++
+		nd.stats.Received++
 		nd.seen[m.From] = true
 		nd.slots[m.From] = m
+		nd.markRecorded(m.From, m.Round)
 	}
 	for _, m := range nd.buffer[round] {
 		record(m)
@@ -623,7 +731,9 @@ func (nd *Node) collect(ctx context.Context, round int) (base, patch []float64, 
 
 	deadline := time.NewTimer(nd.cfg.RoundTimeout)
 	defer deadline.Stop()
-	for count < nd.expect {
+	// SyncRounds keeps collecting until the deadline even when every sender
+	// already reported, so all nodes stay on one shared round clock.
+	for nd.cfg.SyncRounds || count < nd.expect {
 		select {
 		case m, ok := <-nd.link.Recv():
 			if !ok {
@@ -635,7 +745,14 @@ func (nd *Node) collect(ctx context.Context, round int) (base, patch []float64, 
 			case m.Round > round:
 				nd.buffer[m.Round] = append(nd.buffer[m.Round], m)
 			default:
-				// Stale: a slower round already ended by deadline.
+				// Stale: that round already ended by deadline. The replay
+				// window tells a chaos duplicate of a recorded frame apart
+				// from a genuinely late original.
+				if m.From >= 0 && m.From < nd.cfg.N && nd.recordedBefore(m.From, m.Round) {
+					nd.stats.Duplicates++
+				} else {
+					nd.stats.Late++
+				}
 			}
 		case <-deadline.C:
 			// Missing senders become detected omissions (benign).
@@ -718,8 +835,33 @@ func RunCluster(ctx context.Context, cfgs []Config, links []transport.Link) ([]f
 
 // RunClusterOutcomes is RunCluster with per-node transport stats included.
 func RunClusterOutcomes(ctx context.Context, cfgs []Config, links []transport.Link) ([]Outcome, error) {
+	outcomes, down, err := RunClusterDeadline(ctx, cfgs, links, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(down) > 0 {
+		// Unreachable with horizon 0, but keep the invariant explicit.
+		return nil, fmt.Errorf("cluster: nodes %v down", down)
+	}
+	return outcomes, nil
+}
+
+// downGrace is how long the watchdog waits, after cancelling the run, for
+// the surviving nodes to notice and report their partial state. A variable
+// so tests can shorten the wedged-node path.
+var downGrace = 2 * time.Second
+
+// RunClusterDeadline is RunClusterOutcomes with a watchdog: if the whole
+// run has not completed within horizon (> 0), the remaining nodes are
+// cancelled, given a short grace period to surface their partial outcomes,
+// and reported in the down list — the deployment-facing answer to "a node
+// stayed dead past its timeout horizon" that previously hung the caller.
+// Nodes cancelled by the watchdog (or wedged past the grace period) appear
+// in down with a zero/partial Outcome; nodes that failed for any other
+// reason surface through err as before. horizon <= 0 disables the watchdog.
+func RunClusterDeadline(ctx context.Context, cfgs []Config, links []transport.Link, horizon time.Duration) ([]Outcome, []int, error) {
 	if len(cfgs) != len(links) {
-		return nil, fmt.Errorf("cluster: %d configs for %d links", len(cfgs), len(links))
+		return nil, nil, fmt.Errorf("cluster: %d configs for %d links", len(cfgs), len(links))
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -729,10 +871,12 @@ func RunClusterOutcomes(ctx context.Context, cfgs []Config, links []transport.Li
 	for i := 0; i < n; i++ {
 		node, err := NewNode(cfgs[i], links[i])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nodes[i] = node
 	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type result struct {
 		id    int
 		value float64
@@ -741,21 +885,73 @@ func RunClusterOutcomes(ctx context.Context, cfgs []Config, links []transport.Li
 	results := make(chan result, n)
 	for i, node := range nodes {
 		go func(id int, nd *Node) {
-			v, err := nd.RunContext(ctx)
+			v, err := nd.RunContext(runCtx)
 			results <- result{id: id, value: v, err: err}
 		}(i, node)
 	}
+
+	var watchdog <-chan time.Time
+	if horizon > 0 {
+		t := time.NewTimer(horizon)
+		defer t.Stop()
+		watchdog = t.C
+	}
 	outcomes := make([]Outcome, n)
+	isDown := make([]bool, n)
+	for id := range isDown {
+		isDown[id] = true // cleared as each node reports a real outcome
+	}
 	var firstErr error
-	for i := 0; i < n; i++ {
-		o := <-results
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("node %d: %w", o.id, o.err)
+	expired := false
+	record := func(o result) {
+		switch {
+		case o.err == nil:
+			isDown[o.id] = false
+		case expired && errors.Is(o.err, context.Canceled):
+			// The watchdog's own cancellation, not a node failure: the node
+			// never reached a decision and stays in the down list.
+		default:
+			isDown[o.id] = false
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node %d: %w", o.id, o.err)
+			}
 		}
 		outcomes[o.id] = Outcome{Value: o.value, Stats: nodes[o.id].Stats()}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	remaining := n
+collect:
+	for remaining > 0 {
+		select {
+		case o := <-results:
+			record(o)
+			remaining--
+		case <-watchdog:
+			expired = true
+			cancel()
+			grace := time.NewTimer(downGrace)
+			for remaining > 0 {
+				select {
+				case o := <-results:
+					record(o)
+					remaining--
+				case <-grace.C:
+					// Wedged past cancellation: leave the outcome zeroed —
+					// its goroutine may still be touching node state, so
+					// not even Stats is safe to read.
+					break collect
+				}
+			}
+			grace.Stop()
+		}
 	}
-	return outcomes, nil
+	var down []int
+	for id, d := range isDown {
+		if d {
+			down = append(down, id)
+		}
+	}
+	if firstErr != nil {
+		return outcomes, down, firstErr
+	}
+	return outcomes, down, nil
 }

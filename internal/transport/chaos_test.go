@@ -1,0 +1,446 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// chaosHub builds a chaos layer over a fresh in-memory hub with deep
+// inboxes (tests drain after the fact; overflow must not interfere).
+func chaosHub(t *testing.T, n int, spec ChaosSpec) *Chaos {
+	t.Helper()
+	hub, err := NewChannel(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChaos(hub, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// drain closes the chaos layer and collects everything node id received.
+func drain(c *Chaos, id int) []Message {
+	_ = c.Close()
+	var out []Message
+	for m := range c.Inbox(id) {
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestChaosPassThrough(t *testing.T) {
+	c := chaosHub(t, 2, ChaosSpec{Seed: 7})
+	for r := 0; r < 5; r++ {
+		if err := c.Send(Message{Round: r, From: 0, To: 1, Value: float64(r)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(c, 1)
+	if len(got) != 5 {
+		t.Fatalf("zero-rate chaos delivered %d of 5 frames", len(got))
+	}
+	for i, m := range got {
+		if m.Round != i || m.Value != float64(i) {
+			t.Errorf("frame %d arrived as %+v", i, m)
+		}
+	}
+	if total := c.Stats().Total(); total != 0 {
+		t.Errorf("zero-rate chaos injected %d faults", total)
+	}
+	if s := c.Spec(); s.Active() {
+		t.Error("zero-rate spec reports Active")
+	}
+}
+
+func TestChaosDropsEverything(t *testing.T) {
+	c := chaosHub(t, 2, ChaosSpec{Seed: 1, DropRate: 1})
+	for r := 0; r < 8; r++ {
+		if err := c.Send(Message{Round: r, From: 0, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(c, 1); len(got) != 0 {
+		t.Fatalf("drop-rate 1 delivered %d frames", len(got))
+	}
+	if st := c.Stats(); st.Drops != 8 {
+		t.Errorf("Drops = %d, want 8", st.Drops)
+	}
+}
+
+func TestChaosDuplicatesEverything(t *testing.T) {
+	c := chaosHub(t, 2, ChaosSpec{Seed: 1, DupRate: 1})
+	for r := 0; r < 4; r++ {
+		if err := c.Send(Message{Round: r, From: 0, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(c, 1)
+	if len(got) != 8 {
+		t.Fatalf("dup-rate 1 delivered %d frames, want 8", len(got))
+	}
+	if st := c.Stats(); st.Duplicated != 4 {
+		t.Errorf("Duplicated = %d, want 4", st.Duplicated)
+	}
+}
+
+func TestChaosCorruptsThroughCodec(t *testing.T) {
+	c := chaosHub(t, 3, ChaosSpec{Seed: 1, CorruptRate: 1})
+	for r := 0; r < 6; r++ {
+		if err := c.Send(Message{Round: r, From: 0, To: 1 + r%2, Value: 3.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(c, 1); len(got) != 0 {
+		t.Fatalf("corrupt-rate 1 delivered %d frames", len(got))
+	}
+	if st := c.Stats(); st.Corrupted != 6 {
+		t.Errorf("Corrupted = %d, want 6", st.Corrupted)
+	}
+	if got := c.CorruptDropsTo(1); got != 3 {
+		t.Errorf("CorruptDropsTo(1) = %d, want 3", got)
+	}
+	if got := c.CorruptDropsTo(2); got != 3 {
+		t.Errorf("CorruptDropsTo(2) = %d, want 3", got)
+	}
+}
+
+func TestChaosReordersWithinWindow(t *testing.T) {
+	const frames = 32
+	c := chaosHub(t, 2, ChaosSpec{Seed: 3, ReorderRate: 0.5})
+	for r := 0; r < frames; r++ {
+		if err := c.Send(Message{Round: r, From: 0, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(c, 1)
+	if len(got) != frames {
+		t.Fatalf("reordering lost frames: delivered %d of %d", len(got), frames)
+	}
+	seen := make([]bool, frames)
+	inOrder := true
+	for i, m := range got {
+		seen[m.Round] = true
+		if m.Round != i {
+			inOrder = false
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("frame of round %d never delivered", r)
+		}
+	}
+	if st := c.Stats(); st.Reordered == 0 {
+		t.Fatal("no reorder events at rate 0.5 over 32 frames")
+	} else if inOrder {
+		t.Errorf("delivery order unchanged despite %d reorder holds", st.Reordered)
+	}
+	// A hold-back is bounded: a frame may trail at most one successor.
+	for i, m := range got {
+		if m.Round > i+1 || m.Round < i-1 {
+			t.Errorf("frame %d delivered at position %d: window exceeded", m.Round, i)
+		}
+	}
+}
+
+func TestChaosDelayDeliversEventually(t *testing.T) {
+	c := chaosHub(t, 2, ChaosSpec{Seed: 5, LatencyMax: 2 * time.Millisecond})
+	for r := 0; r < 16; r++ {
+		if err := c.Send(Message{Round: r, From: 0, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // let timers fire before Close abandons them
+	got := drain(c, 1)
+	if len(got) != 16 {
+		t.Fatalf("delayed delivery lost frames: %d of 16", len(got))
+	}
+	if st := c.Stats(); st.Delayed == 0 {
+		t.Error("no delay events with LatencyMax set")
+	}
+}
+
+func TestChaosPartitionWindowHeals(t *testing.T) {
+	spec := ChaosSpec{
+		Seed:       1,
+		Partitions: []PartitionWindow{{Start: 1, End: 3, A: []int{0}}},
+	}
+	c := chaosHub(t, 3, spec)
+	for r := 0; r < 5; r++ {
+		// Crosses the cut while the window is open.
+		if err := c.Send(Message{Round: r, From: 0, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+		// Same side of the cut: unaffected.
+		if err := c.Send(Message{Round: r, From: 2, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(c, 1)
+	var fromZero, fromTwo int
+	for _, m := range got {
+		switch m.From {
+		case 0:
+			fromZero++
+			if m.Round >= 1 && m.Round < 3 {
+				t.Errorf("frame of round %d crossed an open partition", m.Round)
+			}
+		case 2:
+			fromTwo++
+		}
+	}
+	if fromZero != 3 || fromTwo != 5 {
+		t.Errorf("delivered %d cross-cut and %d same-side frames, want 3 and 5", fromZero, fromTwo)
+	}
+	if st := c.Stats(); st.PartitionDrops != 2 {
+		t.Errorf("PartitionDrops = %d, want 2", st.PartitionDrops)
+	}
+	if got := c.PartitionDropsTo(1); got != 2 {
+		t.Errorf("PartitionDropsTo(1) = %d, want 2", got)
+	}
+}
+
+func TestChaosCrashWindow(t *testing.T) {
+	spec := ChaosSpec{
+		Seed: 1,
+		Crashes: []CrashWindow{
+			{Node: 1, Start: 1, End: 3}, // recovers at round 3
+			{Node: 2, Start: 2},         // never recovers
+		},
+	}
+	c := chaosHub(t, 3, spec)
+	for r := 0; r < 5; r++ {
+		if err := c.Send(Message{Round: r, From: 1, To: 0}); err != nil {
+			t.Fatal(err) // outbound from the crash-recover node
+		}
+		if err := c.Send(Message{Round: r, From: 0, To: 2}); err != nil {
+			t.Fatal(err) // inbound to the never-recovering node
+		}
+	}
+	got0 := 0
+	for _, m := range drain(c, 0) {
+		got0++
+		if spec.CrashedAt(1, m.Round) {
+			t.Errorf("frame of round %d escaped node 1's crash window", m.Round)
+		}
+	}
+	if got0 != 3 {
+		t.Errorf("node 0 received %d frames, want 3 (rounds 0, 3, 4)", got0)
+	}
+	got2 := 0
+	for m := range c.Inbox(2) {
+		got2++
+		if m.Round >= 2 {
+			t.Errorf("frame of round %d delivered to permanently crashed node", m.Round)
+		}
+	}
+	if got2 != 2 {
+		t.Errorf("node 2 received %d frames, want 2 (rounds 0, 1)", got2)
+	}
+	if !spec.CrashedAt(2, 1<<30) {
+		t.Error("End<=0 crash window should never heal")
+	}
+	if spec.CrashedAt(1, 3) {
+		t.Error("node 1 should have recovered at round 3")
+	}
+}
+
+// TestChaosTraceDeterminism is the replay contract at the transport layer:
+// the same spec and per-link message sequence produce a bit-identical fault
+// trace, identical counters, and identical survivor sets — and a different
+// seed produces a different trace.
+func TestChaosTraceDeterminism(t *testing.T) {
+	spec := ChaosSpec{
+		Seed:        42,
+		DropRate:    0.3,
+		DupRate:     0.2,
+		CorruptRate: 0.2,
+		ReorderRate: 0.2,
+		Partitions:  []PartitionWindow{{Start: 2, End: 4, A: []int{0, 1}}},
+		Crashes:     []CrashWindow{{Node: 3, Start: 5, End: 7}},
+	}
+	run := func(seed uint64) ([]FaultEvent, ChaosStats, map[int]int) {
+		s := spec
+		s.Seed = seed
+		c := chaosHub(t, 4, s)
+		for r := 0; r < 10; r++ {
+			for from := 0; from < 4; from++ {
+				for to := 0; to < 4; to++ {
+					if from == to {
+						continue
+					}
+					if err := c.Send(Message{Round: r, From: from, To: to, Value: float64(r)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		trace, stats := c.Trace(), c.Stats()
+		received := make(map[int]int)
+		_ = c.Close()
+		for id := 0; id < 4; id++ {
+			for range c.Inbox(id) {
+				received[id]++
+			}
+		}
+		return trace, stats, received
+	}
+
+	trace1, stats1, recv1 := run(42)
+	trace2, stats2, recv2 := run(42)
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("same seed produced different fault traces: %d vs %d events", len(trace1), len(trace2))
+	}
+	if stats1 != stats2 {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", stats1, stats2)
+	}
+	if !reflect.DeepEqual(recv1, recv2) {
+		t.Fatalf("same seed produced different survivor sets: %v vs %v", recv1, recv2)
+	}
+	if stats1.Total() == 0 {
+		t.Fatal("fault campaign injected nothing; the determinism check is vacuous")
+	}
+
+	trace3, _, _ := run(43)
+	if reflect.DeepEqual(trace1, trace3) {
+		t.Error("different seeds produced identical fault traces")
+	}
+}
+
+// TestChaosWrapLink exercises the per-link wrapping path (the TCP
+// deployment shape) over in-memory links, including the counter-folding
+// surface the cluster node uses.
+func TestChaosWrapLink(t *testing.T) {
+	hub, err := NewChannel(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChaos(nil, 2, ChaosSpec{Seed: 9, CorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link0 := c.WrapLink(hub.Link(0), 0)
+	if err := link0.(BatchSender).SendBatch([]Message{
+		{Round: 0, To: 1, Value: 1},
+		{Round: 0, To: 1, Value: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(drainLink(hub.Link(1))); n != 0 {
+		t.Fatalf("corrupt-rate 1 delivered %d frames through a wrapped link", n)
+	}
+	type incoming interface {
+		IncomingCorrupt() int64
+		IncomingPartitioned() int64
+	}
+	link1 := c.WrapLink(hub.Link(1), 1).(incoming)
+	if got := link1.IncomingCorrupt(); got != 2 {
+		t.Errorf("IncomingCorrupt = %d, want 2", got)
+	}
+	if u, ok := link0.(interface{ Unwrap() Link }); !ok || u.Unwrap() == nil {
+		t.Error("wrapped link does not expose its inner link")
+	}
+}
+
+func drainLink(l Link) []Message {
+	var out []Message
+	for m := range l.Recv() {
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestChaosSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ChaosSpec
+		ok   bool
+	}{
+		{"zero", ChaosSpec{}, true},
+		{"rates", ChaosSpec{DropRate: 0.5, DupRate: 1, CorruptRate: 0.01, ReorderRate: 0}, true},
+		{"negative rate", ChaosSpec{DropRate: -0.1}, false},
+		{"rate above one", ChaosSpec{DupRate: 1.5}, false},
+		{"negative latency", ChaosSpec{LatencyMax: -time.Second}, false},
+		{"partition ok", ChaosSpec{Partitions: []PartitionWindow{{Start: 0, End: 2, A: []int{1}}}}, true},
+		{"partition empty window", ChaosSpec{Partitions: []PartitionWindow{{Start: 2, End: 2, A: []int{1}}}}, false},
+		{"partition whole cluster", ChaosSpec{Partitions: []PartitionWindow{{Start: 0, End: 1, A: []int{0, 1, 2, 3}}}}, false},
+		{"partition bad id", ChaosSpec{Partitions: []PartitionWindow{{Start: 0, End: 1, A: []int{7}}}}, false},
+		{"crash forever", ChaosSpec{Crashes: []CrashWindow{{Node: 0, Start: 3}}}, true},
+		{"crash bad node", ChaosSpec{Crashes: []CrashWindow{{Node: 4, Start: 0, End: 1}}}, false},
+		{"crash empty window", ChaosSpec{Crashes: []CrashWindow{{Node: 0, Start: 2, End: 2}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+}
+
+func TestChaosFaultBudget(t *testing.T) {
+	spec := ChaosSpec{DropRate: 0.05, CorruptRate: 0.05}
+	if got := spec.FaultBudget(11); got != 1 {
+		t.Errorf("rate-only budget = %d, want 1 (0.1 × 10 links)", got)
+	}
+	spec.Crashes = []CrashWindow{{Node: 0, Start: 0, End: 4}, {Node: 1, Start: 2, End: 6}}
+	if got := spec.FaultBudget(11); got != 3 {
+		t.Errorf("budget with overlapping crashes = %d, want 3", got)
+	}
+	spec.Partitions = []PartitionWindow{{Start: 0, End: 2, A: []int{0, 1, 2}}}
+	if got := spec.FaultBudget(11); got != 6 {
+		t.Errorf("budget with a 3-node partition = %d, want 6", got)
+	}
+	if got := spec.HealSpan(); got != 10 {
+		t.Errorf("HealSpan = %d, want 10 (4+4 crash rounds + 2 partition rounds)", got)
+	}
+}
+
+// TestChannelOverflowDoesNotWedge is the regression test for the historical
+// full-inbox deadlock: Send and SendBatch into a full inbox held the hub
+// lock across a blocking channel send, wedging every sender and Close.
+// Overflow now drops with a counter.
+func TestChannelOverflowDoesNotWedge(t *testing.T) {
+	hub, err := NewChannel(2, 1) // inbox capacity 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			err = hub.Send(Message{Round: i, From: 0, To: 1})
+		}
+		if err == nil {
+			err = hub.SendBatch([]Message{{From: 0, To: 1}, {From: 0, To: 1}})
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sender wedged on a full inbox")
+	}
+	if got := hub.OverflowDrops(1); got != 10 {
+		t.Errorf("OverflowDrops(1) = %d, want 10 (12 sends, capacity 2)", got)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drainLink(hub.Link(1))); got != 2 {
+		t.Errorf("inbox drained %d frames, want 2", got)
+	}
+}

@@ -22,6 +22,24 @@ func FuzzDecode(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:10])
 	f.Add(bytes.Repeat([]byte{0xAA}, FrameSize))
+	// Chaos-style corruptions, mirroring what Chaos.mangle and a lossy wire
+	// produce: single bit flips across every region of a signed frame
+	// (magic, header fields, value, MAC), a one-byte truncation, and a frame
+	// with trailing garbage (stream framing must take exactly FrameSize).
+	for _, off := range []int{0, 2, 4, 12, 16, 20, 24, headerLen, FrameSize - 1} {
+		flipped := bytes.Clone(valid)
+		flipped[off] ^= 1 << (off % 8)
+		f.Add(flipped)
+	}
+	f.Add(valid[:FrameSize-1])
+	f.Add(append(bytes.Clone(valid), 0xFF, 0x00, 0xAA))
+	// Header fields mangled wholesale: round/from/to set to all-ones so the
+	// unsigned-width aliasing paths in Decode see extreme values.
+	mangled := bytes.Clone(valid)
+	for i := 4; i < 24; i++ {
+		mangled[i] = 0xFF
+	}
+	f.Add(mangled)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := codec.Decode(data)

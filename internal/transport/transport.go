@@ -4,13 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Transport delivers Messages among n nodes. Implementations must be safe
 // for concurrent Sends and guarantee that a message sent before Close is
 // either delivered to the destination inbox or reported as an error —
 // messages are never silently created, duplicated or reordered per link
-// (the paper's reliable-channel assumption).
+// (the paper's reliable-channel assumption). The Chaos wrapper deliberately
+// relaxes these guarantees, seeded and counted, for fault injection.
 type Transport interface {
 	// Send delivers m to node m.To. It returns an error if the transport
 	// is closed or the destination is invalid.
@@ -46,9 +48,19 @@ type BatchSender interface {
 
 // Channel is the in-memory Transport: per-node inbox channels with
 // capacity n·capFactor, modelling instantaneous reliable links.
+//
+// A full inbox is an overflow, not a blocking condition: the frame is
+// dropped and counted (OverflowDrops) so one slow or crashed receiver can
+// never wedge its senders — historically Send held the hub lock across a
+// blocking channel send, and a single full inbox deadlocked every sender
+// and Close with it. To the protocol an overflow is indistinguishable from
+// an omission fault, which deadline-based omission detection already
+// handles.
 type Channel struct {
 	n       int
 	inboxes []chan Message
+
+	overflow []atomic.Int64 // per-destination dropped-on-full counters
 
 	mu     sync.Mutex
 	closed bool
@@ -64,7 +76,11 @@ func NewChannel(n, rounds int) (*Channel, error) {
 	if rounds < 1 {
 		rounds = 1
 	}
-	c := &Channel{n: n, inboxes: make([]chan Message, n)}
+	c := &Channel{
+		n:        n,
+		inboxes:  make([]chan Message, n),
+		overflow: make([]atomic.Int64, n),
+	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan Message, n*rounds)
 	}
@@ -81,12 +97,25 @@ func (c *Channel) Send(m Message) error {
 	if c.closed {
 		return ErrClosed
 	}
-	// Holding the lock across the channel send keeps Close from closing
-	// an inbox mid-delivery; capacity is sized so lockstep protocols
-	// never block here.
-	c.inboxes[m.To] <- m
+	// Holding the lock keeps Close from closing an inbox mid-delivery; the
+	// send itself must never block under it (a full inbox would wedge
+	// every sender), so overflow drops instead.
+	c.put(m)
 	return nil
 }
+
+// put delivers m to its inbox or counts an overflow drop. Callers hold mu.
+func (c *Channel) put(m Message) {
+	select {
+	case c.inboxes[m.To] <- m:
+	default:
+		c.overflow[m.To].Add(1)
+	}
+}
+
+// OverflowDrops returns how many frames destined to node id were dropped
+// because its inbox was full — the receiver sees them as omissions.
+func (c *Channel) OverflowDrops(id int) int64 { return c.overflow[id].Load() }
 
 // SendBatch implements BatchSender: one lock acquisition for the whole
 // send phase instead of one per message.
@@ -102,7 +131,7 @@ func (c *Channel) SendBatch(ms []Message) error {
 		return ErrClosed
 	}
 	for _, m := range ms {
-		c.inboxes[m.To] <- m
+		c.put(m)
 	}
 	return nil
 }
