@@ -18,6 +18,13 @@
 //
 //	mbfaa-cluster -soak -n 8 -f 0 -schedule none -drop-rate 0.05 -corrupt-rate 0.02
 //	mbfaa-cluster -soak -epochs 5 -chaos-seed 42 -dup-rate 0.1
+//
+// Serve mode hosts many concurrent agreement instances on one mesh — each
+// instance a complete n-node protocol run, multiplexed by instance id with
+// cross-instance write coalescing — and prints the aggregate throughput:
+//
+//	mbfaa-cluster -serve -instances 5000 -concurrent 256
+//	mbfaa-cluster -serve -instances 1000 -transport tcp -n 4
 package main
 
 import (
@@ -59,6 +66,10 @@ func main() {
 		subBound  = flag.Bool("allow-sub-bound", false, "deploy below the model's n > kf resilience bound (lower-bound experiments)")
 		showSpec  = flag.Bool("spec", false, "print the deployment's ClusterSpec as JSON and exit")
 		showStats = flag.Bool("stats", false, "print per-node transport counters")
+
+		serve      = flag.Bool("serve", false, "host many concurrent agreement instances on one mesh and print throughput")
+		instances  = flag.Int("instances", 1000, "serve: total instances to run")
+		concurrent = flag.Int("concurrent", 256, "serve: max instances in flight at once")
 
 		soak        = flag.Bool("soak", false, "run agreement epochs continuously under chaos, asserting the convergence bounds each epoch")
 		epochs      = flag.Int("epochs", 0, "soak epoch count (0: until interrupted)")
@@ -133,6 +144,35 @@ func main() {
 		return
 	}
 
+	if *serve {
+		sspec := mbfaa.ServiceSpec{
+			Model:         model,
+			N:             *n,
+			F:             *f,
+			Epsilon:       *eps,
+			InputRange:    *inRange,
+			FixedRounds:   *rounds,
+			RoundTimeout:  *timeout,
+			AlgorithmName: *algoName,
+			ScheduleName:  *schedule,
+			Topology:      *topology,
+			Degree:        *degree,
+			TopologySeed:  *seed,
+			Transport:     *transport,
+			AllowSubBound: *subBound,
+			MaxConcurrent: *concurrent,
+		}
+		if chaos.Active() {
+			sspec.Chaos = &chaos
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runServe(ctx, sspec, *instances, *seed, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	dep, err := mbfaa.NewEngine().Deploy(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -202,6 +242,86 @@ func main() {
 	if !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// runServe hosts `instances` concurrent agreement instances on one service
+// mesh, each with inputs derived from the master seed and its instance id,
+// and prints the aggregate throughput and coalescing factors. Cancelling ctx
+// stops submitting; in-flight instances drain.
+func runServe(ctx context.Context, spec mbfaa.ServiceSpec, instances int, seed uint64, w io.Writer) error {
+	svc, err := mbfaa.NewEngine().Serve(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving n=%d f=%d model=%v transport=%s: %d instances, %d concurrent\n",
+		spec.N, spec.F, spec.Model, orDefault(spec.Transport, "memory"), instances, spec.MaxConcurrent)
+
+	type tally struct{ converged, diverged, failed int }
+	counts := make(chan tally, 1)
+	stream := svc.Results()
+	go func() {
+		var t tally
+		for ir := range stream {
+			switch {
+			case ir.Err != nil:
+				t.failed++
+			case ir.Result.Converged:
+				t.converged++
+			default:
+				t.diverged++
+			}
+		}
+		counts <- t
+	}()
+
+	start := time.Now()
+	submitted, interrupted := 0, false
+	for id := 1; id <= instances; id++ {
+		_, err := svc.Submit(ctx, uint32(id), serveInputs(seed, uint32(id), spec.N, spec.InputRange))
+		if err != nil {
+			// A cancelled ctx can surface either way: as its own error from
+			// the submission wait, or as the service closing underneath it.
+			if errors.Is(err, context.Canceled) || errors.Is(err, mbfaa.ErrServiceClosed) {
+				fmt.Fprintf(w, "serve: interrupted after %d submissions\n", submitted)
+				interrupted = true
+				break
+			}
+			_ = svc.Close()
+			return err
+		}
+		submitted++
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	t := <-counts
+	st := svc.Stats()
+
+	fmt.Fprintf(w, "served %d instances in %v — %.0f instances/s (converged=%d diverged=%d failed=%d)\n",
+		submitted, elapsed.Round(time.Millisecond), float64(submitted)/elapsed.Seconds(),
+		t.converged, t.diverged, t.failed)
+	fmt.Fprintf(w, "coalescing: %d frames in %d flushes (%.2f frames/flush)",
+		st.Frames, st.Flushes, st.FramesPerFlush())
+	if st.SocketWrites > 0 {
+		fmt.Fprintf(w, ", %d socket writes (%.2f frames/write)", st.SocketWrites, st.FramesPerWrite())
+	}
+	fmt.Fprintln(w)
+	if t.failed > 0 && !interrupted {
+		return fmt.Errorf("%d of %d instances failed", t.failed, submitted)
+	}
+	return nil
+}
+
+// serveInputs derives one instance's inputs from the master seed and its id,
+// so a serve run is reproducible end to end.
+func serveInputs(seed uint64, id uint32, n int, inputRange float64) []float64 {
+	rng := prng.New(seed).Derive(uint64(id))
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = rng.Range(0, inputRange)
+	}
+	return inputs
 }
 
 // soakEpochSeed derives epoch's campaign seed from the master soak seed.

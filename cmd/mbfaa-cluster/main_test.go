@@ -142,6 +142,52 @@ func diameterOf(t *testing.T, output string, epoch int) string {
 	return ""
 }
 
+// TestRunServe pushes a small instance batch through serve mode and checks
+// the throughput summary reports every instance converged.
+func TestRunServe(t *testing.T) {
+	spec := mbfaa.ServiceSpec{
+		Model:         mbfaa.M4,
+		N:             4,
+		F:             0,
+		Epsilon:       1e-3,
+		InputRange:    1,
+		FixedRounds:   3,
+		RoundTimeout:  time.Second,
+		ScheduleName:  "none",
+		MaxConcurrent: 16,
+	}
+	var out bytes.Buffer
+	if err := runServe(context.Background(), spec, 40, 5, &out); err != nil {
+		t.Fatalf("serve failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "served 40 instances") {
+		t.Errorf("serve output missing the summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "converged=40 diverged=0 failed=0") {
+		t.Errorf("serve output missing the clean tally:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "frames/flush") {
+		t.Errorf("serve output missing the coalescing factor:\n%s", out.String())
+	}
+}
+
+// TestRunServeCancelled checks interruption stops submission cleanly.
+func TestRunServeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := mbfaa.ServiceSpec{
+		Model: mbfaa.M4, N: 4, Epsilon: 1e-3, InputRange: 1,
+		FixedRounds: 2, ScheduleName: "none", MaxConcurrent: 4,
+	}
+	var out bytes.Buffer
+	if err := runServe(ctx, spec, 10, 1, &out); err != nil {
+		t.Fatalf("cancelled serve returned %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("cancelled serve output missing interruption notice:\n%s", out.String())
+	}
+}
+
 // TestRunSoakCancelled checks interruption surfaces as a clean stop, not a
 // violation.
 func TestRunSoakCancelled(t *testing.T) {

@@ -598,20 +598,39 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	res := buildClusterResult(d.spec.Inputs, d.spec.Epsilon, d.cfgs[0].Schedule,
+		d.spec.Chaos, d.rounds, outcomes, down, time.Since(start))
+	if d.chaos != nil {
+		cs := d.chaos.Stats()
+		res.Chaos = &cs
+	}
+	if len(down) > 0 {
+		return nil, &NodeDownError{Nodes: down, Horizon: horizon, Partial: res}
+	}
+	return res, nil
+}
 
-	n := d.spec.N
-	sched := d.cfgs[0].Schedule
-	honest := cluster.HonestAtEnd(sched, d.rounds, n)
+// buildClusterResult assembles the omniscient-harness verdict over one run's
+// per-node outcomes: which decisions count (schedule-honest at the end,
+// minus down nodes and chaos-crashed nodes), the initially-correct input
+// range (the Validity baseline), and the honest decision spread. Shared by
+// Deployment.Run and the Service's per-instance runner so both layers
+// produce bit-identical verdicts from identical outcomes.
+func buildClusterResult(inputs []float64, epsilon float64, sched ClusterSchedule,
+	chaosSpec *ChaosSpec, rounds int, outcomes []cluster.Outcome, down []int,
+	elapsed time.Duration) *ClusterResult {
+
+	n := len(inputs)
+	honest := cluster.HonestAtEnd(sched, rounds, n)
 	// Nodes that never reached a decision don't get one attributed: down
 	// nodes, and nodes the chaos layer still holds crashed in the decision
 	// round.
 	for _, id := range down {
 		honest[id] = false
 	}
-	if d.spec.Chaos != nil {
+	if chaosSpec != nil {
 		for id := 0; id < n; id++ {
-			if d.spec.Chaos.CrashedAt(id, d.rounds-1) {
+			if chaosSpec.CrashedAt(id, rounds-1) {
 				honest[id] = false
 			}
 		}
@@ -631,7 +650,7 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 	// decision spread.
 	initial := multiset.Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
 	occupied0 := sched.Occupied(0)
-	for i, v := range d.spec.Inputs {
+	for i, v := range inputs {
 		if intsContain(occupied0, i) {
 			continue
 		}
@@ -653,10 +672,10 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 		finalDiam = finalHi - finalLo
 	}
 
-	res := &ClusterResult{
+	return &ClusterResult{
 		Result: Result{
-			Rounds:              d.rounds,
-			Converged:           finalDiam <= d.spec.Epsilon,
+			Rounds:              rounds,
+			Converged:           finalDiam <= epsilon,
 			Votes:               votes,
 			Decided:             honest,
 			InitialCorrectRange: initial,
@@ -668,14 +687,6 @@ func (d *Deployment) Run(ctx context.Context) (*ClusterResult, error) {
 		Elapsed:  elapsed,
 		Messages: messages,
 	}
-	if d.chaos != nil {
-		cs := d.chaos.Stats()
-		res.Chaos = &cs
-	}
-	if len(down) > 0 {
-		return nil, &NodeDownError{Nodes: down, Horizon: horizon, Partial: res}
-	}
-	return res, nil
 }
 
 // ClusterResult is a deployment's outcome: the core engine's Result shape

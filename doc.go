@@ -6,7 +6,7 @@
 // runtime checkers for its correctness theorems, executable versions of its
 // lower-bound constructions, and a full experiment harness.
 //
-// # The four API layers
+// # The five API layers
 //
 // The facade is organized around Spec, Engine and batches:
 //
@@ -45,6 +45,22 @@
 //     sockets race — so the comparable surface is the verdict (Converged,
 //     DecisionDiameter, Valid), not the decision bits. The exception is a
 //     chaos deployment (below), which is engineered to replay.
+//
+//   - Engine.Serve(ctx, ServiceSpec) is the long-lived form of Deploy: one
+//     transport mesh hosting many concurrent agreement instances, each a
+//     complete n-node protocol run submitted with its own inputs
+//     (Service.Submit → Handle, Service.Await, or the streamed
+//     Service.Results). Frames carry an instance id and registration epoch
+//     on the wire (frame format v2); a per-node demux routes them to
+//     per-instance inboxes, and a coalescing writer merges the outbound
+//     batches of every hosted instance into shared writes — on TCP, frames
+//     of different instances ride one socket write. MaxConcurrent bounds
+//     the instances in flight (Submit blocks: backpressure); node sets are
+//     pooled across instances; each instance's chaos campaign is seeded
+//     from the template seed and its instance id, so service runs replay
+//     instance by instance. Multiplexing must not leak between instances:
+//     concurrent instances are asserted bit-identical to their
+//     single-instance deployment digests, at any interleaving.
 //
 // A minimal run:
 //

@@ -27,6 +27,9 @@ var (
 	// ErrNodeDown is the sentinel wrapped by *NodeDownError: a deployment
 	// run where at least one node stayed dead past the run horizon.
 	ErrNodeDown = errors.New("mbfaa: node down past run horizon")
+	// ErrServiceClosed is returned by Service.Submit once the service is
+	// closed (Service.Close was called, or the serve context was cancelled).
+	ErrServiceClosed = errors.New("mbfaa: service closed")
 )
 
 // ConfigError reports one invalid Spec field. It wraps ErrSpec.

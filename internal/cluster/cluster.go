@@ -348,6 +348,10 @@ type NodeStats struct {
 	// Partitioned counts inbound frames dropped by chaos partition cuts
 	// and crash windows addressed to this node (folded from the link).
 	Partitioned int64
+	// Overflow counts inbound frames dropped because this node's inbox (or
+	// per-instance route, under the service demux) was full — the receiver
+	// sees them as omissions (folded from the link).
+	Overflow int64
 }
 
 // linkCounters is implemented by transports that count their own drops
@@ -363,6 +367,13 @@ type linkCounters interface {
 type chaosCounters interface {
 	IncomingCorrupt() int64
 	IncomingPartitioned() int64
+}
+
+// overflowCounter is implemented by links whose inbound path can drop
+// frames on a full buffer (the in-memory hub, the service demux routes);
+// the node folds the count into its Overflow stat.
+type overflowCounter interface {
+	InboundOverflow() int64
 }
 
 // linkUnwrapper is implemented by wrapping links (the chaos layer) so
@@ -474,6 +485,30 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 	return nd, nil
 }
 
+// Reset rewires a finished node for a fresh run with a new input, input
+// range, round count and link, keeping everything derived from the validated
+// config — topology arrays, kernel scratch, directive buffers — allocated.
+// This is the service layer's pooling hook: one node set is constructed and
+// validated per pool slot, then recycled across agreement instances.
+// fixedRounds must be positive (the service resolves the horizon up front so
+// all nodes of an instance halt together); input and inputRange are not
+// re-validated here — the caller owns input hygiene.
+func (nd *Node) Reset(input, inputRange float64, fixedRounds int, link transport.Link) {
+	nd.cfg.Input = input
+	nd.cfg.InputRange = inputRange
+	nd.cfg.FixedRounds = fixedRounds
+	nd.link = link
+	nd.vote = input
+	nd.stats = NodeStats{}
+	for r := range nd.buffer {
+		delete(nd.buffer, r)
+	}
+	for i := range nd.winBits {
+		nd.winBits[i] = 0
+		nd.winBase[i] = 0
+	}
+}
+
 // Stats returns the node's transport counters so far (valid after Run; not
 // synchronized with a concurrently executing Run). Link-layer counters are
 // folded in through every wrapping layer: a chaos wrapper contributes the
@@ -488,6 +523,9 @@ func (nd *Node) Stats() NodeStats {
 		if cc, ok := link.(chaosCounters); ok {
 			s.Corrupt += cc.IncomingCorrupt()
 			s.Partitioned += cc.IncomingPartitioned()
+		}
+		if oc, ok := link.(overflowCounter); ok {
+			s.Overflow += oc.InboundOverflow()
 		}
 		u, ok := link.(linkUnwrapper)
 		if !ok {
@@ -863,18 +901,27 @@ func RunClusterDeadline(ctx context.Context, cfgs []Config, links []transport.Li
 	if len(cfgs) != len(links) {
 		return nil, nil, fmt.Errorf("cluster: %d configs for %d links", len(cfgs), len(links))
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	n := len(cfgs)
-	nodes := make([]*Node, n)
-	for i := 0; i < n; i++ {
+	nodes := make([]*Node, len(cfgs))
+	for i := range cfgs {
 		node, err := NewNode(cfgs[i], links[i])
 		if err != nil {
 			return nil, nil, err
 		}
 		nodes[i] = node
 	}
+	return RunNodes(ctx, nodes, horizon)
+}
+
+// RunNodes is RunClusterDeadline over already-constructed nodes: it runs
+// them concurrently under the same watchdog semantics and returns their
+// outcomes and the down list. This is the service layer's entry point — a
+// pooled node set is Reset with a new instance's inputs and links, then
+// handed here, skipping per-instance construction and validation.
+func RunNodes(ctx context.Context, nodes []*Node, horizon time.Duration) ([]Outcome, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(nodes)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {

@@ -52,7 +52,7 @@ func TestTCPRejectsTamperedFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame[26] ^= 0xff // corrupt the value in flight
+	frame[30] ^= 0xff // corrupt the value in flight
 
 	conn := dialRaw(t, nodes[1].Addr())
 	defer func() { _ = conn.Close() }()
@@ -138,9 +138,11 @@ func TestTCPDropsMisdirectedFrame(t *testing.T) {
 
 // TestTCPRejectsCrossRoundReplay: after legitimate traffic advanced the
 // sender's high-water round, a captured frame from a long-gone round is
-// rejected as a replay even though its exact (round, seq) tuple was never
-// delivered — old rounds are dead by construction, which is what stops an
-// attacker from reinjecting recorded history into a live deployment.
+// rejected as a replay even though its exact round was never delivered on
+// the flow — old rounds are dead by construction, which is what stops an
+// attacker from reinjecting recorded history into a live deployment. Note
+// the replay must carry the flow's real (instance, seq) — the HMAC covers
+// both, so an attacker cannot mint a fresh flow to dodge the window.
 func TestTCPRejectsCrossRoundReplay(t *testing.T) {
 	nodes, err := NewTCPMesh(2, testKey)
 	if err != nil {
@@ -149,21 +151,27 @@ func TestTCPRejectsCrossRoundReplay(t *testing.T) {
 	defer closeAll(t, nodes)
 
 	codec, _ := NewCodec(testKey)
-	// The "captured" frame: round 0 with a seq the sender never used, so
-	// only the cross-round window — not exact-duplicate detection — can
-	// reject it.
-	stale, err := codec.Encode(Message{Round: 0, From: 0, To: 1, Value: 666, Seq: 99})
+	// The "captured" frame: round 1, which the legitimate sender below
+	// skips, so only the cross-round window — not exact-duplicate
+	// detection — can reject it.
+	stale, err := codec.Encode(Message{Round: 1, From: 0, To: 1, Value: 666})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Legitimate traffic advances node 0's high-water round past the
 	// replay window.
 	for r := 0; r <= 6; r++ {
+		if r == 1 {
+			continue
+		}
 		if err := nodes[0].Send(Message{To: 1, Round: r, Value: float64(r)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for r := 0; r <= 6; r++ {
+		if r == 1 {
+			continue
+		}
 		if got := <-nodes[1].Recv(); got.Round != r {
 			t.Fatalf("legit round %d delivered as %d (per-link order violated)", r, got.Round)
 		}

@@ -659,6 +659,20 @@ func (l *chaosLink) Unwrap() Link { return l.inner }
 func (l *chaosLink) IncomingCorrupt() int64     { return l.c.CorruptDropsTo(l.id) }
 func (l *chaosLink) IncomingPartitioned() int64 { return l.c.PartitionDropsTo(l.id) }
 
+// InboundOverflow surfaces the hub's dropped-on-full counter in hub mode,
+// where Unwrap returns nil and stats folding cannot reach the inner
+// transport itself. In wrap mode it reports 0: the wrapped link's own
+// counter is folded through the Unwrap chain instead.
+func (l *chaosLink) InboundOverflow() int64 {
+	if l.inner != nil {
+		return 0
+	}
+	if hub, ok := l.c.inner.(interface{ OverflowDrops(int) int64 }); ok {
+		return hub.OverflowDrops(l.id)
+	}
+	return 0
+}
+
 var (
 	_ Transport   = (*Chaos)(nil)
 	_ BatchSender = (*Chaos)(nil)

@@ -22,23 +22,32 @@ type Message struct {
 	From, To int
 	Value    float64
 	Omitted  bool
+	// Instance identifies which agreement instance the message belongs to
+	// when many run over one mesh (the service layer's demux key). A
+	// single-instance deployment leaves it 0.
+	Instance uint32
 	// Seq is the sender-chosen per-(round,to) sequence number used for
 	// replay rejection; the protocol sends exactly one message per round
-	// and destination, so Seq is 0 in normal operation.
+	// and destination, so Seq is 0 in normal operation. The service layer
+	// stamps it with the instance registration epoch so frames from a
+	// retired incarnation of a reused instance id never alias fresh ones.
 	Seq uint32
 }
 
-// Frame layout (big-endian):
+// Frame layout (big-endian), version 2:
 //
-//	magic(2) version(1) flags(1) round(8) from(4) to(4) seq(4) value(8) mac(32)
+//	magic(2) version(1) flags(1) round(8) from(4) to(4) instance(4) seq(4) value(8) mac(32)
+//
+// Version 1 lacked the instance field; v1 frames are rejected with a typed
+// *VersionError rather than silently misparsed.
 const (
 	frameMagic   = 0x4d42 // "MB"
-	frameVersion = 1
+	frameVersion = 2
 
 	flagOmitted = 1 << 0
 
 	macSize   = sha256.Size
-	headerLen = 2 + 1 + 1 + 8 + 4 + 4 + 4 + 8
+	headerLen = 2 + 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8
 	// FrameSize is the fixed wire size of every message.
 	FrameSize = headerLen + macSize
 )
@@ -51,6 +60,21 @@ var (
 	ErrBadMAC     = errors.New("transport: HMAC verification failed")
 	ErrBadValue   = errors.New("transport: NaN value on the wire")
 )
+
+// VersionError reports a frame whose version byte does not match the codec's.
+// It wraps ErrBadVersion, so errors.Is(err, ErrBadVersion) keeps working for
+// callers that only care about the class.
+type VersionError struct {
+	Got  byte // version byte on the wire
+	Want byte // version this codec speaks
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("transport: unsupported frame version %d (want %d)", e.Got, e.Want)
+}
+
+// Unwrap ties VersionError to the ErrBadVersion sentinel.
+func (e *VersionError) Unwrap() error { return ErrBadVersion }
 
 // Codec encodes and authenticates messages with a shared symmetric key.
 // The zero value is unusable; construct with NewCodec.
@@ -84,12 +108,13 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 	binary.BigEndian.PutUint64(buf[4:12], uint64(m.Round))
 	binary.BigEndian.PutUint32(buf[12:16], uint32(m.From))
 	binary.BigEndian.PutUint32(buf[16:20], uint32(m.To))
-	binary.BigEndian.PutUint32(buf[20:24], m.Seq)
+	binary.BigEndian.PutUint32(buf[20:24], m.Instance)
+	binary.BigEndian.PutUint32(buf[24:28], m.Seq)
 	value := m.Value
 	if m.Omitted {
 		value = 0 // canonical encoding: omissions carry no value
 	}
-	binary.BigEndian.PutUint64(buf[24:32], math.Float64bits(value))
+	binary.BigEndian.PutUint64(buf[28:36], math.Float64bits(value))
 	mac := hmac.New(sha256.New, c.key)
 	mac.Write(buf[:headerLen])
 	copy(buf[headerLen:], mac.Sum(nil))
@@ -105,7 +130,7 @@ func (c *Codec) Decode(frame []byte) (Message, error) {
 		return Message{}, ErrBadMagic
 	}
 	if frame[2] != frameVersion {
-		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, frame[2])
+		return Message{}, &VersionError{Got: frame[2], Want: frameVersion}
 	}
 	mac := hmac.New(sha256.New, c.key)
 	mac.Write(frame[:headerLen])
@@ -113,11 +138,12 @@ func (c *Codec) Decode(frame []byte) (Message, error) {
 		return Message{}, ErrBadMAC
 	}
 	m := Message{
-		Round: int(binary.BigEndian.Uint64(frame[4:12])),
-		From:  int(binary.BigEndian.Uint32(frame[12:16])),
-		To:    int(binary.BigEndian.Uint32(frame[16:20])),
-		Seq:   binary.BigEndian.Uint32(frame[20:24]),
-		Value: math.Float64frombits(binary.BigEndian.Uint64(frame[24:32])),
+		Round:    int(binary.BigEndian.Uint64(frame[4:12])),
+		From:     int(binary.BigEndian.Uint32(frame[12:16])),
+		To:       int(binary.BigEndian.Uint32(frame[16:20])),
+		Instance: binary.BigEndian.Uint32(frame[20:24]),
+		Seq:      binary.BigEndian.Uint32(frame[24:28]),
+		Value:    math.Float64frombits(binary.BigEndian.Uint64(frame[28:36])),
 	}
 	if frame[3]&flagOmitted != 0 {
 		m.Omitted = true

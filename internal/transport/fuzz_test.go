@@ -24,19 +24,39 @@ func FuzzDecode(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xAA}, FrameSize))
 	// Chaos-style corruptions, mirroring what Chaos.mangle and a lossy wire
 	// produce: single bit flips across every region of a signed frame
-	// (magic, header fields, value, MAC), a one-byte truncation, and a frame
-	// with trailing garbage (stream framing must take exactly FrameSize).
-	for _, off := range []int{0, 2, 4, 12, 16, 20, 24, headerLen, FrameSize - 1} {
+	// (magic, version, header fields, instance id, seq, value, MAC), a
+	// one-byte truncation, and a frame with trailing garbage (stream framing
+	// must take exactly FrameSize).
+	for _, off := range []int{0, 2, 4, 12, 16, 20, 24, 28, headerLen, FrameSize - 1} {
 		flipped := bytes.Clone(valid)
 		flipped[off] ^= 1 << (off % 8)
 		f.Add(flipped)
 	}
 	f.Add(valid[:FrameSize-1])
 	f.Add(append(bytes.Clone(valid), 0xFF, 0x00, 0xAA))
-	// Header fields mangled wholesale: round/from/to set to all-ones so the
-	// unsigned-width aliasing paths in Decode see extreme values.
+	// Version-byte mutations: the pre-instance-id v1 layout, a from-the-
+	// future version, and version zero must all be rejected typed, never
+	// misparsed under the current layout.
+	for _, v := range []byte{0, 1, frameVersion + 1, 0xFF} {
+		downgraded := bytes.Clone(valid)
+		downgraded[2] = v
+		f.Add(downgraded)
+	}
+	// Instance-id mutations: a multiplexed frame with every instance byte
+	// set, and a flipped low instance byte on an otherwise valid frame.
+	muxed, err := codec.Encode(Message{Round: 3, From: 1, To: 2, Value: 1.5, Instance: 0xFFFFFFFF, Seq: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(muxed)
+	instFlip := bytes.Clone(muxed)
+	instFlip[23] ^= 0x01
+	f.Add(instFlip)
+	// Header fields mangled wholesale: round/from/to/instance/seq set to
+	// all-ones so the unsigned-width aliasing paths in Decode see extreme
+	// values.
 	mangled := bytes.Clone(valid)
-	for i := 4; i < 24; i++ {
+	for i := 4; i < 28; i++ {
 		mangled[i] = 0xFF
 	}
 	f.Add(mangled)
@@ -63,11 +83,11 @@ func FuzzEncodeDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(0, 0, 0, 1.0, false, uint32(0))
-	f.Add(1<<40, 3, 7, math.Inf(-1), true, uint32(99))
+	f.Add(0, 0, 0, 1.0, false, uint32(0), uint32(0))
+	f.Add(1<<40, 3, 7, math.Inf(-1), true, uint32(12345), uint32(99))
 
-	f.Fuzz(func(t *testing.T, round, from, to int, value float64, omitted bool, seq uint32) {
-		m := Message{Round: round, From: from, To: to, Value: value, Omitted: omitted, Seq: seq}
+	f.Fuzz(func(t *testing.T, round, from, to int, value float64, omitted bool, instance, seq uint32) {
+		m := Message{Round: round, From: from, To: to, Value: value, Omitted: omitted, Instance: instance, Seq: seq}
 		frame, err := codec.Encode(m)
 		if err != nil {
 			if math.IsNaN(value) && !omitted {
@@ -95,20 +115,25 @@ func FuzzEncodeDecode(f *testing.F) {
 }
 
 // FuzzReplayFilter checks the filter never admits an exact duplicate,
-// regardless of the interleaving.
+// regardless of the interleaving of senders, instances and epochs.
 func FuzzReplayFilter(f *testing.F) {
-	f.Add([]byte{1, 0, 0, 1, 0, 0, 2, 1, 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 2, 1, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		filter := newReplayFilter()
 		type key struct {
-			from, round int
-			seq         uint32
+			from, round   int
+			instance, seq uint32
 		}
 		admitted := make(map[key]bool)
-		for i := 0; i+2 < len(data); i += 3 {
-			k := key{from: int(data[i] % 4), round: int(data[i+1] % 16), seq: uint32(data[i+2] % 4)}
-			ok := filter.admit(k.from, k.round, k.seq)
+		for i := 0; i+3 < len(data); i += 4 {
+			k := key{
+				from:     int(data[i] % 4),
+				instance: uint32(data[i+1] % 4),
+				round:    int(data[i+2] % 16),
+				seq:      uint32(data[i+3] % 4),
+			}
+			ok := filter.admit(k.from, k.instance, k.round, k.seq)
 			if ok && admitted[k] {
 				t.Fatalf("duplicate admitted: %+v", k)
 			}

@@ -49,6 +49,11 @@ func (l *channelLink) SendBatch(ms []Message) error {
 
 func (l *channelLink) Recv() <-chan Message { return l.hub.Inbox(l.id) }
 
+// InboundOverflow reports how many frames destined to this node the hub
+// dropped on a full inbox (Channel.OverflowDrops); the cluster layer folds
+// it into NodeStats.Overflow.
+func (l *channelLink) InboundOverflow() int64 { return l.hub.OverflowDrops(l.id) }
+
 // Close on a channelLink is a no-op: the hub owns the resources.
 func (l *channelLink) Close() error { return nil }
 
@@ -344,7 +349,7 @@ func (nd *TCPNode) readLoop(conn net.Conn) {
 			continue
 		}
 		nd.filterMu.Lock()
-		fresh := nd.filter.admit(m.From, m.Round, m.Seq)
+		fresh := nd.filter.admit(m.From, m.Instance, m.Round, m.Seq)
 		nd.filterMu.Unlock()
 		if !fresh {
 			nd.replayDrops.Add(1)
@@ -478,47 +483,76 @@ var (
 	_ BatchSender = (*Channel)(nil)
 )
 
-// replayFilter remembers (from, round, seq) tuples within a sliding round
-// window and rejects duplicates. The window tolerates the one-round skew a
-// lockstep protocol can exhibit while keeping memory bounded.
+// replayFilter remembers rounds per (sender, instance, seq) flow within a
+// sliding round window and rejects duplicates. The window tolerates the
+// one-round skew a lockstep protocol can exhibit. Keying flows by instance
+// (and by seq, which the service layer stamps with the registration epoch)
+// matters under multiplexing: every instance — and every incarnation of a
+// reused instance id — starts at round 0, so a per-sender high-water mark
+// shared across them would reject a fresh instance's opening rounds as
+// stale replays of an older one. A replayed frame from a retired
+// incarnation still lands in its original flow and is rejected there; if
+// that flow was already evicted, the frame passes here but carries the old
+// epoch, which the service demux drops.
 type replayFilter struct {
-	window    int
-	highwater map[int]int             // per sender: highest round seen
-	seen      map[int]map[uint64]bool // per sender: packed (round,seq)
+	window int
+	limit  int // max tracked flows; oldest are evicted beyond it
+	flows  map[replayKey]*replayFlow
+	order  []replayKey // flow insertion order, drives eviction
+}
+
+type replayKey struct {
+	from     int
+	instance uint32
+	seq      uint32
+}
+
+type replayFlow struct {
+	highwater int
+	seen      map[int]bool // rounds recorded within the window
 }
 
 func newReplayFilter() *replayFilter {
 	return &replayFilter{
-		window:    4,
-		highwater: make(map[int]int),
-		seen:      make(map[int]map[uint64]bool),
+		window: 4,
+		// One flow per (sender, live instance incarnation); retired
+		// incarnations keep a dormant entry until evicted. The cap bounds
+		// memory for long-lived service nodes — evicting a dormant flow
+		// only forgets replay history the demux's epoch check still covers.
+		limit: 1 << 14,
+		flows: make(map[replayKey]*replayFlow),
 	}
 }
 
-// admit reports whether the tuple is fresh, recording it if so. Frames
-// older than the window below the sender's high-water round are treated as
-// replays outright.
-func (f *replayFilter) admit(from, round int, seq uint32) bool {
-	hw, ok := f.highwater[from]
-	if ok && round < hw-f.window {
+// admit reports whether (round) is fresh for its (sender, instance, seq)
+// flow, recording it if so. Frames older than the window below the flow's
+// high-water round are treated as replays outright.
+func (f *replayFilter) admit(from int, instance uint32, round int, seq uint32) bool {
+	id := replayKey{from: from, instance: instance, seq: seq}
+	fl, ok := f.flows[id]
+	if !ok {
+		if len(f.flows) >= f.limit {
+			oldest := f.order[0]
+			f.order = f.order[1:]
+			delete(f.flows, oldest)
+		}
+		fl = &replayFlow{highwater: -1, seen: make(map[int]bool)}
+		f.flows[id] = fl
+		f.order = append(f.order, id)
+	}
+	if fl.highwater >= 0 && round < fl.highwater-f.window {
 		return false
 	}
-	key := uint64(round)<<32 | uint64(seq)
-	set := f.seen[from]
-	if set == nil {
-		set = make(map[uint64]bool)
-		f.seen[from] = set
-	}
-	if set[key] {
+	if fl.seen[round] {
 		return false
 	}
-	set[key] = true
-	if round > hw {
-		f.highwater[from] = round
-		// Prune entries that slid out of the window.
-		for k := range set {
-			if int(k>>32) < round-f.window {
-				delete(set, k)
+	fl.seen[round] = true
+	if round > fl.highwater {
+		fl.highwater = round
+		// Prune rounds that slid out of the window.
+		for r := range fl.seen {
+			if r < round-f.window {
+				delete(fl.seen, r)
 			}
 		}
 	}

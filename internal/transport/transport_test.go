@@ -21,6 +21,7 @@ func TestCodecRoundTrip(t *testing.T) {
 		{Round: 1, From: 2, To: 3, Omitted: true},
 		{Round: 9, From: 1, To: 1, Value: math.Inf(1)},
 		{Round: 5, From: 4, To: 2, Value: 0, Seq: 77},
+		{Round: 3, From: 0, To: 1, Value: 2.5, Instance: 0xdeadbeef, Seq: 9},
 	}
 	for _, m := range msgs {
 		frame, err := c.Encode(m)
@@ -110,11 +111,11 @@ func TestCodecRejectsGarbage(t *testing.T) {
 // Property: encode/decode is the identity on valid messages.
 func TestQuickCodecRoundTrip(t *testing.T) {
 	c, _ := NewCodec(testKey)
-	f := func(round uint16, from, to uint8, value float64, omitted bool, seq uint32) bool {
+	f := func(round uint16, from, to uint8, value float64, omitted bool, instance, seq uint32) bool {
 		if math.IsNaN(value) {
 			return true
 		}
-		m := Message{Round: int(round), From: int(from), To: int(to), Value: value, Omitted: omitted, Seq: seq}
+		m := Message{Round: int(round), From: int(from), To: int(to), Value: value, Omitted: omitted, Instance: instance, Seq: seq}
 		frame, err := c.Encode(m)
 		if err != nil {
 			return false
@@ -179,28 +180,98 @@ func TestChannelValidation(t *testing.T) {
 
 func TestReplayFilter(t *testing.T) {
 	f := newReplayFilter()
-	if !f.admit(1, 0, 0) {
+	if !f.admit(1, 0, 0, 0) {
 		t.Error("first frame rejected")
 	}
-	if f.admit(1, 0, 0) {
+	if f.admit(1, 0, 0, 0) {
 		t.Error("duplicate admitted")
 	}
-	if !f.admit(1, 0, 1) {
+	if !f.admit(1, 0, 0, 1) {
 		t.Error("new seq rejected")
 	}
-	if !f.admit(2, 0, 0) {
+	if !f.admit(2, 0, 0, 0) {
 		t.Error("other sender rejected")
 	}
 	for r := 1; r <= 10; r++ {
-		if !f.admit(1, r, 0) {
+		if !f.admit(1, 0, r, 0) {
 			t.Errorf("round %d rejected", r)
 		}
 	}
-	if f.admit(1, 2, 0) {
+	if f.admit(1, 0, 2, 0) {
 		t.Error("frame far below high-water admitted")
 	}
-	if !f.admit(1, 8, 1) {
+	if !f.admit(1, 0, 8, 1) {
 		t.Error("fresh frame within window rejected")
+	}
+}
+
+// TestReplayFilterInstanceStreams: replay state is per (sender, instance,
+// seq) flow, so concurrent instances — all starting at round 0 — never shade
+// each other, and a reused instance id under a fresh epoch (carried in seq)
+// starts a clean flow while replays of the old incarnation stay rejected.
+func TestReplayFilterInstanceStreams(t *testing.T) {
+	f := newReplayFilter()
+	// Instance 7 runs to round 40.
+	for r := 0; r <= 40; r++ {
+		if !f.admit(1, 7, r, 1) {
+			t.Fatalf("instance 7 round %d rejected", r)
+		}
+	}
+	// A different instance from the same sender starts at round 0: must not
+	// be shadowed by instance 7's high-water mark.
+	if !f.admit(1, 8, 0, 1) {
+		t.Error("concurrent instance's round 0 rejected as stale")
+	}
+	// Instance 7 retires; its id is reused under epoch 2: fresh flow.
+	if !f.admit(1, 7, 0, 2) {
+		t.Error("reused instance id under new epoch rejected")
+	}
+	// A replay of the old incarnation's frame still lands in the old flow.
+	if f.admit(1, 7, 40, 1) {
+		t.Error("old-incarnation replay admitted")
+	}
+}
+
+// TestReplayFilterEviction: the flow table is bounded; the oldest flow is
+// forgotten beyond the cap and a replay into it is admitted again (the
+// service demux's epoch check is the second line of defense).
+func TestReplayFilterEviction(t *testing.T) {
+	f := newReplayFilter()
+	f.limit = 4
+	for inst := uint32(0); inst < 5; inst++ {
+		if !f.admit(0, inst, 0, 1) {
+			t.Fatalf("instance %d rejected", inst)
+		}
+	}
+	if len(f.flows) != 4 {
+		t.Fatalf("tracked flows = %d, want 4 (capped)", len(f.flows))
+	}
+	// Instance 0 was evicted: its replay is admitted here (and must be
+	// caught downstream by the epoch check instead).
+	if !f.admit(0, 0, 0, 1) {
+		t.Error("evicted flow's frame rejected; expected re-admission")
+	}
+}
+
+// TestCodecVersionError: a version-byte mismatch surfaces as the typed
+// *VersionError wrapping the ErrBadVersion sentinel.
+func TestCodecVersionError(t *testing.T) {
+	c, _ := NewCodec(testKey)
+	frame, err := c.Encode(Message{Round: 1, From: 0, To: 1, Value: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[2] = 1 // the pre-instance-id v1 layout
+	_, err = c.Decode(frame)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("decode err = %v, want *VersionError", err)
+	}
+	if ve.Got != 1 || ve.Want != frameVersion {
+		t.Errorf("VersionError = %+v, want Got=1 Want=%d", ve, frameVersion)
+	}
+	if !errors.Is(err, ErrBadVersion) {
+		t.Error("VersionError does not unwrap to ErrBadVersion")
 	}
 }
 

@@ -1,0 +1,579 @@
+package mbfaa
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbfaa/internal/cluster"
+	"mbfaa/internal/service"
+	"mbfaa/internal/transport"
+)
+
+// ServiceSpec describes a long-lived agreement service: one transport mesh
+// of N nodes hosting many concurrent protocol instances. It is the
+// ClusterSpec shape minus the per-run Inputs (each Submit supplies its own)
+// plus the service's concurrency bound. Like ClusterSpec it serializes to
+// JSON with algorithm/schedule/topology selected by name; the instance
+// override fields are process-local and excluded.
+type ServiceSpec struct {
+	// Model is the Mobile Byzantine Fault model (M1–M4). Zero means M1.
+	Model Model `json:"model,omitempty"`
+	// N and F are the node and agent counts. N must be set — a service has
+	// no Inputs to infer it from.
+	N int `json:"n,omitempty"`
+	F int `json:"f,omitempty"`
+	// Epsilon is the agreement tolerance ε. Zero means 1e-6.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// InputRange pins the a-priori input spread every instance computes its
+	// round horizon from. Zero derives it per instance from the submitted
+	// inputs (instances may then run different round counts).
+	InputRange float64 `json:"input_range,omitempty"`
+	// FixedRounds overrides the computed round count when positive; required
+	// for algorithms without a contraction guarantee (median).
+	FixedRounds int `json:"fixed_rounds,omitempty"`
+	// RoundTimeout is the receive-phase deadline. Zero means 200ms.
+	RoundTimeout time.Duration `json:"round_timeout,omitempty"`
+	// AlgorithmName selects the MSR voting function by registered name.
+	AlgorithmName string `json:"algorithm,omitempty"`
+	// ScheduleName selects the fault schedule (see ClusterSpec).
+	ScheduleName string `json:"schedule,omitempty"`
+	// Topology, Degree and TopologySeed select the communication graph
+	// shared by every instance (see ClusterSpec).
+	Topology     string `json:"topology,omitempty"`
+	Degree       int    `json:"degree,omitempty"`
+	TopologySeed uint64 `json:"topology_seed,omitempty"`
+	// Transport selects the link layer: "memory" (or empty) or "tcp".
+	Transport string `json:"transport,omitempty"`
+	// AllowSubBound deploys below the model's replica bound (see
+	// ClusterSpec).
+	AllowSubBound bool `json:"allow_sub_bound,omitempty"`
+	// MaxConcurrent bounds the instances in flight at once; Submit blocks
+	// (backpressure) while the service is saturated. Zero means 64.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Chaos, when non-nil, is the fault-injection template: every instance
+	// gets its own injector with the seed derived from this seed and the
+	// instance id, so a service run is replayable instance by instance.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// RunHorizon overrides the per-instance watchdog deadline. Zero derives
+	// it from the instance's round count and RoundTimeout.
+	RunHorizon time.Duration `json:"run_horizon,omitempty"`
+
+	// Key authenticates TCP frames. Not serialized.
+	Key []byte `json:"-"`
+	// Algorithm overrides AlgorithmName with a concrete voting function.
+	// Not serialized.
+	Algorithm Algorithm `json:"-"`
+	// Schedule overrides ScheduleName with a concrete fault schedule. Not
+	// serialized.
+	Schedule ClusterSchedule `json:"-"`
+	// Graph overrides Topology/Degree/TopologySeed with a concrete
+	// communication graph. Not serialized.
+	Graph ClusterTopology `json:"-"`
+}
+
+// clusterSpec projects the service spec onto the ClusterSpec machinery with
+// placeholder inputs, reusing its validation, schedule/topology resolution
+// and per-node config compilation. Instances overwrite Input/InputRange/
+// FixedRounds per run.
+func (s ServiceSpec) clusterSpec() ClusterSpec {
+	return ClusterSpec{
+		Model:         s.Model,
+		N:             s.N,
+		F:             s.F,
+		Inputs:        make([]float64, s.N),
+		Epsilon:       s.Epsilon,
+		InputRange:    s.InputRange,
+		FixedRounds:   s.FixedRounds,
+		RoundTimeout:  s.RoundTimeout,
+		AlgorithmName: s.AlgorithmName,
+		ScheduleName:  s.ScheduleName,
+		Topology:      s.Topology,
+		Degree:        s.Degree,
+		TopologySeed:  s.TopologySeed,
+		Transport:     s.Transport,
+		AllowSubBound: s.AllowSubBound,
+		Chaos:         s.Chaos,
+		RunHorizon:    s.RunHorizon,
+		Key:           s.Key,
+		Algorithm:     s.Algorithm,
+		Schedule:      s.Schedule,
+		Graph:         s.Graph,
+	}
+}
+
+// Handle identifies one submitted instance. Await (or the Results stream)
+// yields its outcome; Done is closed when the instance finishes.
+type Handle struct {
+	id    uint32
+	done  chan struct{}
+	res   *ClusterResult
+	trace []FaultEvent
+	err   error
+}
+
+// ID returns the instance id the handle was submitted under.
+func (h *Handle) ID() uint32 { return h.id }
+
+// Done returns a channel closed when the instance has finished (select on
+// it alongside other events; Await wraps it).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// InstanceResult is one finished instance on the Results stream.
+type InstanceResult struct {
+	// ID is the instance id it was submitted under.
+	ID uint32
+	// Result is the instance's verdict — the same shape Deployment.Run
+	// produces. Non-nil even when Err is a *NodeDownError (the partial).
+	Result *ClusterResult
+	// Trace is the instance's injected-fault trace (nil without chaos).
+	Trace []FaultEvent
+	// Err is the instance's failure, if any.
+	Err error
+}
+
+// ServiceStats is a snapshot of a service's lifetime counters.
+type ServiceStats struct {
+	// Submitted, Completed and Failed count instances; Completed+Failed
+	// lags Submitted by the instances still in flight.
+	Submitted, Completed, Failed int64
+	// Frames counts protocol messages handed to the coalescing send path;
+	// Flushes the underlying writes they merged into. Frames/Flushes is the
+	// cross-instance coalescing factor.
+	Frames, Flushes int64
+	// Unrouted, Stale and InboxDrops count inbound frames dropped by the
+	// demux: no live instance, a retired incarnation's epoch, or a full
+	// instance inbox.
+	Unrouted, Stale, InboxDrops int64
+	// SocketFrames and SocketWrites are the TCP mesh totals (zero on the
+	// memory transport): frames sent and the socket writes carrying them.
+	SocketFrames, SocketWrites int64
+}
+
+// FramesPerFlush returns the cross-instance coalescing factor at the mux
+// layer (0 when nothing was flushed).
+func (s ServiceStats) FramesPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Frames) / float64(s.Flushes)
+}
+
+// FramesPerWrite returns the socket-level coalescing factor on the TCP
+// transport (0 on memory, where no socket exists).
+func (s ServiceStats) FramesPerWrite() float64 {
+	if s.SocketWrites == 0 {
+		return 0
+	}
+	return float64(s.SocketFrames) / float64(s.SocketWrites)
+}
+
+// Service hosts many concurrent agreement instances over one transport
+// mesh. Each Submit runs the full n-node protocol for one set of inputs,
+// multiplexed by instance id over the mesh's links: outbound frames of all
+// instances coalesce into shared writes, inbound frames are demultiplexed to
+// per-instance inboxes. Protocol state (node sets with their kernel scratch)
+// is pooled across instances. Safe for concurrent use.
+type Service struct {
+	spec  ServiceSpec
+	n     int
+	cfgs  []cluster.Config // template: Input/InputRange/FixedRounds overwritten per instance
+	sched ClusterSchedule
+
+	group  *service.Group
+	tcp    []*transport.TCPNode // nil on the memory transport
+	closer func() error
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	slots  chan struct{}
+	pool   sync.Pool // []*cluster.Node sets, recycled via Node.Reset
+
+	results    chan InstanceResult
+	subscribed atomic.Bool
+
+	mu       sync.Mutex
+	active   map[uint32]*Handle
+	closed   bool
+	inflight sync.WaitGroup
+
+	submitted, completed, failed atomic.Int64
+}
+
+// Serve validates the spec, opens the mesh (in-memory channels or a loopback
+// TCP mesh) and returns a Service accepting Submits. Validation failures
+// surface as *ConfigError values wrapping ErrSpec before any resource is
+// acquired. The caller owns the Service and must Close it. Cancelling ctx
+// aborts every in-flight instance and fails later Submits.
+func (e *Engine) Serve(ctx context.Context, spec ServiceSpec) (*Service, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.N <= 0 {
+		return nil, configErrorf("N", "n=%d must be positive (a service cannot infer it from inputs)", spec.N)
+	}
+	if spec.MaxConcurrent < 0 {
+		return nil, configErrorf("MaxConcurrent", "negative concurrency bound %d", spec.MaxConcurrent)
+	}
+	if spec.MaxConcurrent == 0 {
+		spec.MaxConcurrent = 64
+	}
+	cs := spec.clusterSpec().withDefaults()
+	topo, err := cs.topology()
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.validate(topo); err != nil {
+		return nil, err
+	}
+	cfgs, err := cs.configs(topo)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfgs[0].Validate(); err != nil {
+		return nil, err
+	}
+	// Prove the horizon computable now (median without FixedRounds must fail
+	// at Serve, not per Submit). With InputRange unset the placeholder range
+	// 1 stands in; per-instance ranges only change the count, not
+	// feasibility.
+	if _, err := cfgs[0].Rounds(); err != nil {
+		return nil, configErrorf("FixedRounds", "%v", err)
+	}
+	// Carry the resolved defaults the per-instance path needs.
+	spec.Model, spec.Epsilon, spec.RoundTimeout = cs.Model, cs.Epsilon, cs.RoundTimeout
+	spec.Degree, spec.Key = cs.Degree, cs.Key
+
+	n := cs.N
+	links := make([]transport.Link, n)
+	var closer func() error
+	var tcpNodes []*transport.TCPNode
+	switch cs.Transport {
+	case "", "memory":
+		// Every node's inbox is shared by all hosted instances until the
+		// demux fans frames out; lockstep bounds each instance to about two
+		// rounds in flight, so size for the concurrency cap.
+		hub, err := transport.NewChannel(n, 2*spec.MaxConcurrent+8)
+		if err != nil {
+			return nil, err
+		}
+		for i := range links {
+			links[i] = hub.Link(i)
+		}
+		closer = hub.Close
+	case "tcp":
+		nodes, err := transport.NewTCPMesh(n, cs.Key)
+		if err != nil {
+			return nil, err
+		}
+		tcpNodes = nodes
+		for i := range links {
+			links[i] = nodes[i]
+		}
+		closer = func() error {
+			var first error
+			for _, nd := range nodes {
+				if err := nd.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Service{
+		spec:    spec,
+		n:       n,
+		cfgs:    cfgs,
+		sched:   cfgs[0].Schedule,
+		group:   service.NewGroup(links),
+		tcp:     tcpNodes,
+		closer:  closer,
+		ctx:     sctx,
+		cancel:  cancel,
+		slots:   make(chan struct{}, spec.MaxConcurrent),
+		results: make(chan InstanceResult, spec.MaxConcurrent),
+		active:  make(map[uint32]*Handle),
+	}
+	return s, nil
+}
+
+// N returns the mesh size every instance runs on.
+func (s *Service) N() int { return s.n }
+
+// Submit starts one agreement instance over the submitted inputs (one per
+// node) and returns its handle. It blocks while MaxConcurrent instances are
+// in flight — backpressure, released as instances finish — until ctx is
+// cancelled or the service closes. The instance id must not collide with a
+// currently-active one; finished ids may be reused.
+func (s *Service) Submit(ctx context.Context, id uint32, inputs []float64) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(inputs) != s.n {
+		return nil, configErrorf("Inputs", "%d inputs for n=%d nodes; they must agree", len(inputs), s.n)
+	}
+	for i, v := range inputs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, configErrorf("Inputs", "input %d is %v", i, v)
+		}
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.ctx.Done():
+		return nil, ErrServiceClosed
+	}
+	// The select races a free slot against a dead service; re-check the
+	// service side so a cancelled serve context always wins.
+	if s.ctx.Err() != nil {
+		<-s.slots
+		return nil, ErrServiceClosed
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.slots
+		return nil, ErrServiceClosed
+	}
+	if _, dup := s.active[id]; dup {
+		s.mu.Unlock()
+		<-s.slots
+		return nil, configErrorf("InstanceID", "instance %d is already active", id)
+	}
+	h := &Handle{id: id, done: make(chan struct{})}
+	s.active[id] = h
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	go s.runInstance(h, append([]float64(nil), inputs...))
+	return h, nil
+}
+
+// Await blocks until the handle's instance finishes and returns its result,
+// or ctx expires. The instance keeps running on a ctx timeout — Await again
+// or use the Results stream.
+func (s *Service) Await(ctx context.Context, h *Handle) (*ClusterResult, error) {
+	if h == nil {
+		return nil, configErrorf("Handle", "nil handle")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Results returns the stream of finished instances. First call subscribes:
+// from then on every completion is sent to the channel and the consumer must
+// drain it (completions block on a full buffer, eventually stalling slot
+// release). The channel is closed by Close after the last in-flight
+// instance. Without a Results call, completions are delivered through
+// handles only.
+func (s *Service) Results() <-chan InstanceResult {
+	s.subscribed.Store(true)
+	return s.results
+}
+
+// Stats returns a snapshot of the service's lifetime counters.
+func (s *Service) Stats() ServiceStats {
+	g := s.group.Stats()
+	st := ServiceStats{
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Frames:     g.Frames,
+		Flushes:    g.Flushes,
+		Unrouted:   g.Unrouted,
+		Stale:      g.Stale,
+		InboxDrops: g.Overflows,
+	}
+	for _, nd := range s.tcp {
+		st.SocketFrames += nd.FramesSent()
+		st.SocketWrites += nd.BatchWrites()
+	}
+	return st
+}
+
+// Close stops accepting Submits, waits out the in-flight instances, closes
+// the Results stream and releases the mesh. In-flight instances run to
+// completion; to abort them instead, cancel the Serve context first. Safe to
+// call more than once.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	if s.subscribed.Load() {
+		close(s.results)
+	}
+	err := s.group.Close()
+	if cerr := s.closer(); err == nil {
+		err = cerr
+	}
+	s.group.Join()
+	s.cancel()
+	return err
+}
+
+// runInstance executes one instance end to end and publishes its outcome.
+func (s *Service) runInstance(h *Handle, inputs []float64) {
+	res, trace, err := s.execute(h.id, inputs)
+	h.res, h.trace, h.err = res, trace, err
+	s.mu.Lock()
+	delete(s.active, h.id)
+	s.mu.Unlock()
+	close(h.done)
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	if s.subscribed.Load() {
+		select {
+		case s.results <- InstanceResult{ID: h.id, Result: res, Trace: trace, Err: err}:
+		case <-s.ctx.Done():
+		}
+	}
+	<-s.slots
+	s.inflight.Done()
+}
+
+// roundsFor resolves the round horizon for one instance's input range,
+// applying the same chaos stretch Deploy applies.
+func (s *Service) roundsFor(inputRange float64) (int, error) {
+	cfg := s.cfgs[0]
+	cfg.InputRange = inputRange
+	rounds, err := cfg.Rounds()
+	if err != nil {
+		return 0, configErrorf("FixedRounds", "%v", err)
+	}
+	if s.spec.Chaos.Active() && s.spec.FixedRounds == 0 {
+		rounds = int(math.Ceil(float64(rounds)*(1+2*(s.spec.Chaos.DropRate+s.spec.Chaos.CorruptRate)))) +
+			s.spec.Chaos.HealSpan()
+	}
+	return rounds, nil
+}
+
+// nodeSet builds or recycles an n-node protocol state set wired to the
+// instance's links.
+func (s *Service) nodeSet(links []transport.Link, inputs []float64, inputRange float64, rounds int) ([]*cluster.Node, error) {
+	if v := s.pool.Get(); v != nil {
+		nodes := v.([]*cluster.Node)
+		for i, nd := range nodes {
+			nd.Reset(inputs[i], inputRange, rounds, links[i])
+		}
+		return nodes, nil
+	}
+	nodes := make([]*cluster.Node, s.n)
+	for i := range nodes {
+		cfg := s.cfgs[i]
+		cfg.Input = inputs[i]
+		cfg.InputRange = inputRange
+		cfg.FixedRounds = rounds
+		nd, err := cluster.NewNode(cfg, links[i])
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	return nodes, nil
+}
+
+// execute runs one instance: register routes, optionally wrap them in a
+// per-instance chaos injector, run the nodes, assemble the verdict.
+func (s *Service) execute(id uint32, inputs []float64) (*ClusterResult, []FaultEvent, error) {
+	inputRange := s.spec.InputRange
+	if inputRange == 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range inputs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if hi > lo {
+			inputRange = hi - lo
+		} else {
+			inputRange = 1 // degenerate: identical inputs
+		}
+	}
+	rounds, err := s.roundsFor(inputRange)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Lockstep keeps at most about two rounds of n frames in flight per
+	// instance; 4n+4 gives headroom for deadline skew.
+	links, err := s.group.Register(id, 4*s.n+4)
+	if err != nil {
+		return nil, nil, configErrorf("InstanceID", "%v", err)
+	}
+	retire := func() {
+		for _, l := range links {
+			_ = l.Close()
+		}
+	}
+	var chaos *transport.Chaos
+	var chaosSpec *ChaosSpec
+	if s.spec.Chaos != nil {
+		// Each instance gets its own injector, seeded from the template seed
+		// and the instance id: the fault trace of instance k replays
+		// bit-for-bit regardless of what else the service hosts.
+		cspec := *s.spec.Chaos
+		cspec.Seed = DeriveSeed(cspec.Seed, int(id))
+		chaos, err = transport.NewChaos(nil, s.n, cspec)
+		if err != nil {
+			retire()
+			return nil, nil, err
+		}
+		for i := range links {
+			links[i] = chaos.WrapLink(links[i], i)
+		}
+		chaosSpec = &cspec
+	}
+	nodes, err := s.nodeSet(links, inputs, inputRange, rounds)
+	if err != nil {
+		retire()
+		return nil, nil, err
+	}
+	horizon := s.spec.RunHorizon
+	if horizon == 0 {
+		horizon = time.Duration(rounds+2)*s.spec.RoundTimeout + 2*time.Second
+	}
+	start := time.Now()
+	outcomes, down, err := cluster.RunNodes(s.ctx, nodes, horizon)
+	elapsed := time.Since(start)
+	var trace []FaultEvent
+	var chaosStats *ChaosStats
+	if chaos != nil {
+		_ = chaos.Close() // flush hold-backs into the still-live routes
+		trace = chaos.Trace()
+		cs := chaos.Stats()
+		chaosStats = &cs
+	}
+	retire() // closes through the chaos wrappers, unregistering the routes
+	if err != nil {
+		return nil, trace, err
+	}
+	if len(down) == 0 {
+		// Only fully-drained node sets are recycled: a watchdog-abandoned
+		// node may still be wedged in its goroutine, touching this state.
+		s.pool.Put(nodes)
+	}
+	res := buildClusterResult(inputs, s.spec.Epsilon, s.sched, chaosSpec, rounds,
+		outcomes, down, elapsed)
+	res.Chaos = chaosStats
+	if len(down) > 0 {
+		return res, trace, &NodeDownError{Nodes: down, Horizon: horizon, Partial: res}
+	}
+	return res, trace, nil
+}

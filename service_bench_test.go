@@ -1,0 +1,93 @@
+package mbfaa_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mbfaa"
+)
+
+// BenchmarkServiceThroughput measures the service end to end: how many full
+// agreement instances per second one mesh sustains, and how effectively the
+// frames of concurrent instances coalesce into shared writes. Each instance
+// is a complete 4-node protocol run (2 lockstep rounds); the arms scale the
+// instance count over the in-memory transport and add a TCP arm where
+// frames/write is the socket-level coalescing factor.
+//
+//	go test -bench ServiceThroughput -benchtime 1x .
+func BenchmarkServiceThroughput(b *testing.B) {
+	arms := []struct {
+		name       string
+		transport  string
+		instances  int
+		concurrent int
+	}{
+		{"memory/1k", "memory", 1_000, 256},
+		{"memory/10k", "memory", 10_000, 256},
+		{"memory/100k", "memory", 100_000, 512},
+		{"tcp/1k", "tcp", 1_000, 256},
+	}
+	for _, arm := range arms {
+		b.Run(fmt.Sprintf("%s/conc=%d", arm.name, arm.concurrent), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchServiceThroughput(b, arm.transport, arm.instances, arm.concurrent)
+			}
+		})
+	}
+}
+
+// benchServiceThroughput pushes `instances` submissions through one service
+// lifecycle and reports instances/sec plus the coalescing factors.
+func benchServiceThroughput(b *testing.B, transport string, instances, concurrent int) {
+	b.Helper()
+	spec := mbfaa.ServiceSpec{
+		Model:         mbfaa.M4,
+		N:             4,
+		Epsilon:       1e-3,
+		InputRange:    1,
+		FixedRounds:   2,
+		RoundTimeout:  time.Second, // deadlines fire only on omissions; generous is free
+		RunHorizon:    2 * time.Minute,
+		Transport:     transport,
+		MaxConcurrent: concurrent,
+	}
+	svc, err := mbfaa.NewEngine().Serve(context.Background(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []float64{0, 0.25, 0.75, 1}
+	drained := make(chan int, 1)
+	stream := svc.Results()
+	go func() {
+		completed := 0
+		for ir := range stream {
+			if ir.Err != nil {
+				b.Errorf("instance %d: %v", ir.ID, ir.Err)
+				continue
+			}
+			completed++
+		}
+		drained <- completed
+	}()
+	start := time.Now()
+	for id := 1; id <= instances; id++ {
+		if _, err := svc.Submit(context.Background(), uint32(id), inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if completed := <-drained; completed != instances {
+		b.Fatalf("completed %d of %d instances", completed, instances)
+	}
+	st := svc.Stats()
+	b.ReportMetric(float64(instances)/elapsed.Seconds(), "instances/sec")
+	b.ReportMetric(st.FramesPerFlush(), "frames/flush")
+	if transport == "tcp" {
+		b.ReportMetric(st.FramesPerWrite(), "frames/write")
+	}
+}
