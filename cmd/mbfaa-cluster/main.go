@@ -62,6 +62,7 @@ func main() {
 		inRange   = flag.Float64("range", 1, "a-priori input spread (fixes the local round horizon)")
 		rounds    = flag.Int("rounds", 0, "fixed round count (0: computed from range/ε/contraction)")
 		timeout   = flag.Duration("timeout", 200*time.Millisecond, "per-round receive deadline")
+		pipeline  = flag.Int("pipeline", 0, "rounds a node may run ahead of the slowest peer (0: strict lockstep)")
 		seed      = flag.Uint64("seed", 1, "seed for inputs and the regular topology")
 		subBound  = flag.Bool("allow-sub-bound", false, "deploy below the model's n > kf resilience bound (lower-bound experiments)")
 		showSpec  = flag.Bool("spec", false, "print the deployment's ClusterSpec as JSON and exit")
@@ -105,6 +106,7 @@ func main() {
 		InputRange:    *inRange,
 		FixedRounds:   *rounds,
 		RoundTimeout:  *timeout,
+		PipelineDepth: *pipeline,
 		AlgorithmName: *algoName,
 		ScheduleName:  *schedule,
 		Topology:      *topology,
@@ -153,6 +155,7 @@ func main() {
 			InputRange:    *inRange,
 			FixedRounds:   *rounds,
 			RoundTimeout:  *timeout,
+			PipelineDepth: *pipeline,
 			AlgorithmName: *algoName,
 			ScheduleName:  *schedule,
 			Topology:      *topology,
@@ -179,8 +182,8 @@ func main() {
 	}
 	defer func() { _ = dep.Close() }()
 
-	fmt.Printf("deploying n=%d f=%d model=%v algo=%s schedule=%s topology=%s transport=%s: %d rounds\n",
-		*n, *f, model, *algoName, *schedule, dep.TopologyName(), orDefault(*transport, "memory"), dep.Rounds())
+	fmt.Printf("deploying n=%d f=%d model=%v algo=%s schedule=%s topology=%s transport=%s pipeline=%d: %d rounds\n",
+		*n, *f, model, *algoName, *schedule, dep.TopologyName(), orDefault(*transport, "memory"), *pipeline, dep.Rounds())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -228,7 +231,15 @@ func main() {
 				fmt.Printf(" dup=%-4d late=%-4d corrupt=%-4d partitioned=%d",
 					st.Duplicates, st.Late, st.Corrupt, st.Partitioned)
 			}
+			if *pipeline > 0 {
+				fmt.Printf(" stale=%-4d stalls=%-3d score=%v",
+					st.StaleRounds, st.StallEvents, st.PeerMisses)
+			}
 			fmt.Println()
+		}
+		if frames, writes := dep.Coalescing(); writes > 0 {
+			fmt.Printf("  coalescing: %d frames in %d socket writes (%.2f frames/write)\n",
+				frames, writes, float64(frames)/float64(writes))
 		}
 		if res.Chaos != nil {
 			c := res.Chaos

@@ -77,6 +77,14 @@ type ClusterSpec struct {
 	// RoundTimeout is the receive-phase deadline after which missing
 	// senders are treated as omissions. Zero means 200ms.
 	RoundTimeout time.Duration `json:"round_timeout,omitempty"`
+	// PipelineDepth lets each node run up to this many rounds ahead of the
+	// slowest live peer, buffering ahead-of-round frames instead of waiting
+	// out every round (see cluster.Config.PipelineDepth). Zero — the default
+	// — keeps the strict lockstep rounds the paper specifies, bit-for-bit
+	// identical to deployments predating the field. Chaos deployments pin
+	// SyncRounds semantics per round index at any depth, so seeded replay
+	// holds. Bounded by cluster.MaxPipelineDepth.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 	// AlgorithmName selects the MSR voting function by registered name
 	// ("fta", "ftm", "dolev", "median"). Empty with a nil Algorithm means
 	// FTM.
@@ -213,6 +221,8 @@ func (s ClusterSpec) validate(topo ClusterTopology) error {
 		return configErrorf("FixedRounds", "negative fixed round count %d", s.FixedRounds)
 	case s.RoundTimeout <= 0:
 		return configErrorf("RoundTimeout", "round timeout %v must be positive", s.RoundTimeout)
+	case s.PipelineDepth < 0 || s.PipelineDepth > cluster.MaxPipelineDepth:
+		return configErrorf("PipelineDepth", "pipeline depth %d out of range [0, %d]", s.PipelineDepth, cluster.MaxPipelineDepth)
 	case s.RunHorizon < 0:
 		return configErrorf("RunHorizon", "run horizon %v must be non-negative", s.RunHorizon)
 	}
@@ -369,6 +379,7 @@ func (s ClusterSpec) configs(topo ClusterTopology) ([]cluster.Config, error) {
 			AllowSubBound: s.AllowSubBound,
 			Crash:         crash,
 			FixedRounds:   s.FixedRounds,
+			PipelineDepth: s.PipelineDepth,
 			// Fixed-duration rounds keep the cluster on one shared round
 			// clock under injected faults, making per-node stat
 			// attribution replayable (see cluster.Config.SyncRounds).
@@ -430,10 +441,12 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 	d := &Deployment{spec: spec, cfgs: cfgs, topo: topo, rounds: rounds}
 	switch spec.Transport {
 	case "", "memory":
-		// Inboxes buffer several rounds of skew; nodes drain their inbox
-		// continuously while waiting for the deadline, so this never
+		// Inboxes buffer several rounds of skew — plus two frames per peer
+		// per pipelined round, since a node may legitimately run
+		// PipelineDepth rounds ahead of a slow receiver; nodes drain their
+		// inbox continuously while waiting for the deadline, so this never
 		// backs up in practice.
-		hub, err := transport.NewChannel(spec.N, 8)
+		hub, err := transport.NewChannel(spec.N, 8+2*spec.PipelineDepth)
 		if err != nil {
 			return nil, err
 		}
@@ -460,6 +473,14 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 		nodes, err := transport.NewTCPMesh(spec.N, spec.Key)
 		if err != nil {
 			return nil, err
+		}
+		if spec.PipelineDepth > 0 {
+			// Pipelined senders legitimately put PipelineDepth rounds in
+			// flight per flow; widen each node's replay filter so ahead-of-
+			// round frames are not mistaken for replays.
+			for _, nd := range nodes {
+				nd.SetReplayWindow(spec.PipelineDepth + 4)
+			}
 		}
 		closeMesh := func() error {
 			var first error
@@ -540,6 +561,31 @@ func (d *Deployment) FaultTrace() []FaultEvent {
 		return nil
 	}
 	return d.chaos.Trace()
+}
+
+// Coalescing totals the BatchSender coalescing counters across the
+// deployment's links: how many protocol frames left in how many socket
+// writes. Zero/zero on transports that do not batch (the in-memory hub);
+// chaos wrappers are unwrapped to reach the TCP layer beneath.
+func (d *Deployment) Coalescing() (frames, writes int64) {
+	for _, link := range d.links {
+		for link != nil {
+			if bc, ok := link.(interface {
+				FramesSent() int64
+				BatchWrites() int64
+			}); ok {
+				frames += bc.FramesSent()
+				writes += bc.BatchWrites()
+				break
+			}
+			u, ok := link.(interface{ Unwrap() transport.Link })
+			if !ok {
+				break
+			}
+			link = u.Unwrap()
+		}
+	}
+	return frames, writes
 }
 
 // Horizon returns the watchdog deadline Run enforces: RunHorizon when set,

@@ -55,7 +55,10 @@ func runChaosDeploy(t *testing.T, spec mbfaa.ClusterSpec) (*mbfaa.ClusterResult,
 // TestDeployChaosReplayDeterminism is the PR's acceptance criterion: two
 // runs of the same ClusterSpec + ChaosSpec seed produce identical verdicts,
 // identical per-node NodeStats, and an identical injected-fault trace — and
-// a run within the model's fault budget still converges.
+// a run within the model's fault budget still converges. The same replay
+// contract holds at every PipelineDepth: chaos deployments pin SyncRounds
+// semantics per round index, so pipelining changes no frame's round and the
+// votes, decisions and fault trace match the lockstep baseline bit-for-bit.
 func TestDeployChaosReplayDeterminism(t *testing.T) {
 	res1, trace1 := runChaosDeploy(t, chaosDeploySpec(42))
 	res2, trace2 := runChaosDeploy(t, chaosDeploySpec(42))
@@ -80,6 +83,34 @@ func TestDeployChaosReplayDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res1.Chaos, res2.Chaos) {
 		t.Errorf("chaos stats diverge: %+v vs %+v", res1.Chaos, res2.Chaos)
+	}
+
+	// Pipelined depths replay the same way — and reproduce the lockstep
+	// baseline's verdict surface exactly, fault trace included. Per-node
+	// Stats are compared within a depth only: pipelined mode attributes
+	// drops to StaleRounds/PeerMisses where lockstep uses Late.
+	for _, depth := range []int{2, 8} {
+		pspec := chaosDeploySpec(42)
+		pspec.PipelineDepth = depth
+		p1, ptrace1 := runChaosDeploy(t, pspec)
+		p2, ptrace2 := runChaosDeploy(t, pspec)
+		if !reflect.DeepEqual(ptrace1, ptrace2) {
+			t.Fatalf("depth %d: fault traces diverge across same-seed runs", depth)
+		}
+		if !reflect.DeepEqual(p1.Votes, p2.Votes) || !reflect.DeepEqual(p1.Decided, p2.Decided) ||
+			p1.Converged != p2.Converged || !reflect.DeepEqual(p1.Stats, p2.Stats) ||
+			!reflect.DeepEqual(p1.Chaos, p2.Chaos) {
+			t.Errorf("depth %d: same-seed runs diverge", depth)
+		}
+		if !reflect.DeepEqual(ptrace1, trace1) {
+			t.Errorf("depth %d: fault trace diverges from the lockstep baseline", depth)
+		}
+		if !reflect.DeepEqual(p1.Votes, res1.Votes) {
+			t.Errorf("depth %d votes diverge from lockstep under SyncRounds:\n  %v\n  %v", depth, p1.Votes, res1.Votes)
+		}
+		if !reflect.DeepEqual(p1.Decided, res1.Decided) || p1.Converged != res1.Converged {
+			t.Errorf("depth %d verdict diverges from lockstep: converged=%v decided=%v", depth, p1.Converged, p1.Decided)
+		}
 	}
 
 	// Within the model's fault budget the Table 2 bounds still hold: the

@@ -202,6 +202,8 @@ func TestClusterSpecValidate(t *testing.T) {
 		{"schedule", func(s *mbfaa.ClusterSpec) { s.ScheduleName = "nope" }},
 		{"topology", func(s *mbfaa.ClusterSpec) { s.Topology = "torus" }},
 		{"transport", func(s *mbfaa.ClusterSpec) { s.Transport = "carrier-pigeon" }},
+		{"pipeline-negative", func(s *mbfaa.ClusterSpec) { s.PipelineDepth = -1 }},
+		{"pipeline-too-deep", func(s *mbfaa.ClusterSpec) { s.PipelineDepth = 33 }},
 		{"ring-odd-degree", func(s *mbfaa.ClusterSpec) { s.Topology = "ring"; s.Degree = 3 }},
 		{"pingpong-camps", func(s *mbfaa.ClusterSpec) { s.ScheduleName = "pingpong"; s.F = 3; s.AllowSubBound = true }},
 	}
@@ -279,6 +281,7 @@ func TestClusterSpecJSONRoundTrip(t *testing.T) {
 		InputRange:    1,
 		FixedRounds:   12,
 		RoundTimeout:  150 * time.Millisecond,
+		PipelineDepth: 3,
 		AlgorithmName: "fta",
 		ScheduleName:  "pingpong",
 		Topology:      "regular",

@@ -34,9 +34,17 @@
 //   - Engine.Deploy(ClusterSpec) is the distributed backend: it wires an
 //     n-node cluster over in-memory links or HMAC-authenticated loopback
 //     TCP sockets — full mesh, ring, random-regular or custom topology —
-//     running the protocol in lockstep rounds with deadline-based omission
+//     running the protocol in deadline-driven rounds with omission
 //     detection and schedule-driven mobile-fault injection, the paper-§3
-//     system over real message passing. ClusterSpec is JSON-serializable
+//     system over real message passing. Rounds are strict lockstep by
+//     default; ClusterSpec.PipelineDepth = k lets a node run up to k
+//     rounds ahead of the slowest peer, buffering ahead-of-round frames
+//     in a bounded per-sender ring (stale frames are dropped and counted
+//     in NodeStats.StaleRounds), flagging peers persistently more than k
+//     rounds behind (NodeStats.StallEvents) and scoring per-peer missed
+//     closes (NodeStats.PeerMisses). Depth 0 reproduces the lockstep
+//     loop bit-for-bit, and chaos deployments keep SyncRounds semantics
+//     at any depth so seeded replay holds. ClusterSpec is JSON-serializable
 //     like Spec and validates eagerly (under-provisioned systems fail with
 //     the same *BoundError as CheckSystem before any socket opens);
 //     Deployment.Run(ctx) returns a ClusterResult embedding the core

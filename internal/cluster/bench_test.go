@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -127,6 +128,52 @@ func BenchmarkClusterRound(b *testing.B) {
 			if writes > 0 {
 				b.ReportMetric(float64(frames)/float64(writes), "frames/write")
 			}
+		})
+	}
+}
+
+// BenchmarkClusterPipelined measures rounds/sec under injected latency
+// jitter and a small drop rate at pipeline depth 0, 2 and 8 (ns/op is
+// nanoseconds per protocol round for the whole deployment). Lockstep
+// (depth 0) pays the full RoundTimeout whenever any node misses any frame;
+// a pipelined node closes on its quorum as soon as the brake allows, so
+// depth > 0 turns most deadline burns into millisecond rounds. The timeout
+// is deliberately short — it bounds the worst case, not the common one.
+func BenchmarkClusterPipelined(b *testing.B) {
+	const n = 8
+	const timeout = 40 * time.Millisecond
+	for _, depth := range []int{0, 2, 8} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			hub, err := transport.NewChannel(n, 8+2*depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chaos, err := transport.NewChaos(hub, n, transport.ChaosSpec{
+				Seed:       11,
+				DropRate:   0.02,
+				LatencyMax: 2 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = chaos.Close() }()
+			links := make([]transport.Link, n)
+			for i := range links {
+				links[i] = chaos.Link(i)
+			}
+			cfgs := benchConfigs(n, b.N)
+			for i := range cfgs {
+				cfgs[i].RoundTimeout = timeout
+				cfgs[i].PipelineDepth = depth
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			if _, err := RunCluster(context.Background(), cfgs, links); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "rounds/s")
 		})
 	}
 }

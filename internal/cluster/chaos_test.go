@@ -53,39 +53,40 @@ func chaosLinks(t *testing.T, n int, spec transport.ChaosSpec) ([]transport.Link
 
 // TestReplayWindow pins the node-side replay window semantics: recorded
 // rounds and below-window rounds read as duplicates, everything else as
-// unrecorded, across window slides.
+// unrecorded, across window slides. The window is the shared
+// transport.RoundWindow, held per sender.
 func TestReplayWindow(t *testing.T) {
-	nd := &Node{winBits: make([]uint64, 2), winBase: make([]int, 2)}
-	if nd.recordedBefore(0, 0) {
+	nd := &Node{win: make([]transport.RoundWindow, 2)}
+	if nd.win[0].Recorded(0) {
 		t.Fatal("empty window claims round 0 recorded")
 	}
-	nd.markRecorded(0, 0)
-	nd.markRecorded(0, 5)
-	if !nd.recordedBefore(0, 0) || !nd.recordedBefore(0, 5) {
+	nd.win[0].Record(0)
+	nd.win[0].Record(5)
+	if !nd.win[0].Recorded(0) || !nd.win[0].Recorded(5) {
 		t.Fatal("recorded rounds not found")
 	}
-	if nd.recordedBefore(0, 3) || nd.recordedBefore(0, 63) {
+	if nd.win[0].Recorded(3) || nd.win[0].Recorded(63) {
 		t.Fatal("unrecorded in-window rounds claimed recorded")
 	}
 	// Slide the window far forward: old rounds fall below the base and read
 	// as recorded (replays), the explicitly recorded round stays visible.
-	nd.markRecorded(0, 200)
-	if !nd.recordedBefore(0, 200) {
+	nd.win[0].Record(200)
+	if !nd.win[0].Recorded(200) {
 		t.Fatal("round 200 not recorded after slide")
 	}
-	if !nd.recordedBefore(0, 0) || !nd.recordedBefore(0, 100) {
+	if !nd.win[0].Recorded(0) || !nd.win[0].Recorded(100) {
 		t.Fatal("below-window rounds must read as recorded (replay convention)")
 	}
-	if nd.recordedBefore(0, 199) {
+	if nd.win[0].Recorded(199) {
 		t.Fatal("unrecorded in-window round claimed recorded after slide")
 	}
 	// A modest slide keeps recent history.
-	nd.markRecorded(0, 250)
-	if !nd.recordedBefore(0, 200) {
+	nd.win[0].Record(250)
+	if !nd.win[0].Recorded(200) {
 		t.Fatal("round 200 lost by a 50-round slide")
 	}
 	// Senders are independent.
-	if nd.recordedBefore(1, 200) {
+	if nd.win[1].Recorded(200) {
 		t.Fatal("sender 1 inherited sender 0's window")
 	}
 }

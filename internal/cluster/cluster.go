@@ -1,8 +1,10 @@
 // Package cluster runs the MSR approximate-agreement protocol as a real
 // distributed deployment: one Node per process, communicating over a
 // transport.Link (in-memory channels or authenticated TCP sockets), in
-// lockstep rounds with deadline-based omission detection — the synchronous
-// system of paper §3 realised over actual message passing. A Topology
+// synchronous rounds with deadline-based omission detection — strict
+// lockstep by default, or pipelined up to Config.PipelineDepth rounds ahead
+// of the slowest live peer — the synchronous system of paper §3 realised
+// over actual message passing. A Topology
 // restricts communication to a neighbor graph (full mesh by default; rings,
 // random-regular and arbitrary connected graphs for the partially-connected
 // regimes of Li, Hurfin & Wang 2012).
@@ -202,7 +204,29 @@ type Config struct {
 	// contraction at 1/2, exactly as a partial topology does. Chaos
 	// deployments set this alongside SyncRounds.
 	LossyLinks bool
+	// PipelineDepth (k), when positive, lets the node run up to k rounds
+	// ahead of its slowest live peer instead of strict lockstep: frames
+	// for rounds [current, current+k] are buffered in a bounded per-round
+	// receive ring, a round closes as soon as its quorum-or-deadline
+	// condition is met (every expected sender reported; or a majority
+	// reported and advancing keeps the node within k rounds of the slowest
+	// non-stalled peer; or the deadline fired), and frames outside the
+	// window are dropped and counted (NodeStats.StaleRounds). Peers
+	// persistently more than k rounds behind are flagged stalled
+	// (NodeStats.StallEvents) and excluded from the pacing brake, so one
+	// wedged peer cannot wedge the cluster; every round a peer misses
+	// raises its NodeStats.PeerMisses score. Depth 0 is strict lockstep,
+	// bit-identical to the engine before pipelining existed. SyncRounds
+	// overrides early close at any depth — chaos rounds keep their full
+	// fixed duration per round index, so seeded replay holds. At most
+	// MaxPipelineDepth.
+	PipelineDepth int
 }
+
+// MaxPipelineDepth bounds Config.PipelineDepth: the replay windows behind
+// the pipeline are one 64-bit word wide (transport.MaxRoundWindow), and the
+// depth plus reordering slack must fit inside them.
+const MaxPipelineDepth = 32
 
 // Validate checks the node configuration. Deployments at or below the
 // model's Table 2 replica bound are rejected with the same typed
@@ -228,6 +252,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: need a positive round timeout")
 	case c.Schedule == nil:
 		return fmt.Errorf("cluster: nil schedule (use NoFaults{})")
+	case c.PipelineDepth < 0 || c.PipelineDepth > MaxPipelineDepth:
+		return fmt.Errorf("cluster: pipeline depth %d out of range [0, %d]", c.PipelineDepth, MaxPipelineDepth)
 	}
 	if !c.AllowSubBound {
 		if err := mobile.CheckSystem(c.Model, c.N, c.F); err != nil {
@@ -341,7 +367,22 @@ type NodeStats struct {
 	// Late counts frames that arrived for a round the node had already
 	// closed by deadline without recording that sender: genuinely late
 	// originals (latency, a lagging peer catching up after a crash).
+	// Lockstep mode only; pipelined mode counts StaleRounds instead.
 	Late int64
+	// StaleRounds counts pipelined-mode frames dropped outside the round
+	// window [current, current+PipelineDepth]: unrecorded frames for
+	// rounds already closed, and frames from a peer running further ahead
+	// than the window tracks. Always zero at depth 0.
+	StaleRounds int64
+	// StallEvents counts transitions of a peer into the stalled state —
+	// its newest observed frame persistently more than PipelineDepth
+	// rounds behind this node. A peer that recovers and stalls again
+	// counts again. Always zero at depth 0.
+	StallEvents int64
+	// PeerMisses scores the peers: PeerMisses[s] is how many rounds this
+	// node closed without sender s's frame — the per-peer reliability
+	// score behind the stall detector. Nil at depth 0.
+	PeerMisses []int64
 	// Corrupt counts inbound frames the chaos layer corrupted and the
 	// codec rejected on this node's behalf (folded from the link).
 	Corrupt int64
@@ -391,16 +432,27 @@ type Node struct {
 	dests  []int                       // send targets in ascending order (neighbors + self)
 	inNbr  []bool                      // expected senders (neighbors + self)
 	expect int                         // len(dests)
-	buffer map[int][]transport.Message // round → early messages
+	buffer map[int][]transport.Message // round → early messages (lockstep mode)
 
-	// winBits/winBase are the node's replay window: per sender, a 64-round
-	// bitmap of rounds whose frame was recorded. A second frame for a
-	// recorded (sender, round) — or one below the window — is a duplicate;
-	// an unrecorded frame for a closed round is late. Both are dropped,
-	// counted, and keep a recovering peer's catch-up traffic from ever
-	// corrupting a closed round.
-	winBits []uint64
-	winBase []int
+	// win is the node's replay window: per sender, a sliding bitmap
+	// (transport.RoundWindow) of rounds whose frame was recorded — the
+	// same primitive the TCP replay filter runs per flow. A second frame
+	// for a recorded (sender, round) — or one below the window — is a
+	// duplicate; an unrecorded frame for a closed round is late (lockstep)
+	// or stale (pipelined). All are dropped, counted, and keep a
+	// recovering peer's catch-up traffic from ever corrupting a closed
+	// round.
+	win []transport.RoundWindow
+
+	// Pipelined-mode state, allocated only at PipelineDepth > 0: ring
+	// holds the k+1 in-flight rounds' receive states, lastSeen the newest
+	// round observed from each sender (stale frames included — they are
+	// liveness evidence the stall detector and pacing brake feed on),
+	// stalled the current stall classification, misses the per-peer score.
+	ring     []roundState
+	lastSeen []int
+	stalled  []bool
+	misses   []int64
 
 	stats NodeStats
 
@@ -441,17 +493,32 @@ func NewNode(cfg Config, link transport.Link) (*Node, error) {
 		return nil, errors.New("cluster: nil link")
 	}
 	nd := &Node{
-		cfg:     cfg,
-		link:    link,
-		tau:     cfg.Model.Trim(cfg.F),
-		vote:    cfg.Input,
-		buffer:  make(map[int][]transport.Message),
-		inNbr:   make([]bool, cfg.N),
-		slots:   make([]transport.Message, cfg.N),
-		seen:    make([]bool, cfg.N),
-		isAsym:  make([]bool, cfg.N),
-		winBits: make([]uint64, cfg.N),
-		winBase: make([]int, cfg.N),
+		cfg:    cfg,
+		link:   link,
+		tau:    cfg.Model.Trim(cfg.F),
+		vote:   cfg.Input,
+		buffer: make(map[int][]transport.Message),
+		inNbr:  make([]bool, cfg.N),
+		slots:  make([]transport.Message, cfg.N),
+		seen:   make([]bool, cfg.N),
+		isAsym: make([]bool, cfg.N),
+		win:    make([]transport.RoundWindow, cfg.N),
+	}
+	if cfg.PipelineDepth > 0 {
+		nd.ring = make([]roundState, cfg.PipelineDepth+1)
+		for i := range nd.ring {
+			nd.ring[i] = roundState{
+				round: -1,
+				seen:  make([]bool, cfg.N),
+				slots: make([]transport.Message, cfg.N),
+			}
+		}
+		nd.lastSeen = make([]int, cfg.N)
+		for i := range nd.lastSeen {
+			nd.lastSeen[i] = -1
+		}
+		nd.stalled = make([]bool, cfg.N)
+		nd.misses = make([]int64, cfg.N)
 	}
 	if cfg.Topology != nil {
 		nbrs := cfg.Topology.Neighbors(cfg.ID)
@@ -503,9 +570,24 @@ func (nd *Node) Reset(input, inputRange float64, fixedRounds int, link transport
 	for r := range nd.buffer {
 		delete(nd.buffer, r)
 	}
-	for i := range nd.winBits {
-		nd.winBits[i] = 0
-		nd.winBase[i] = 0
+	for i := range nd.win {
+		nd.win[i].Reset()
+	}
+	for i := range nd.ring {
+		nd.ring[i].round = -1
+		nd.ring[i].count = 0
+		for j := range nd.ring[i].seen {
+			nd.ring[i].seen[j] = false
+		}
+	}
+	for i := range nd.lastSeen {
+		nd.lastSeen[i] = -1
+	}
+	for i := range nd.stalled {
+		nd.stalled[i] = false
+	}
+	for i := range nd.misses {
+		nd.misses[i] = 0
 	}
 }
 
@@ -516,6 +598,9 @@ func (nd *Node) Reset(input, inputRange float64, fixedRounds int, link transport
 // its authentication, replay and misdirection drops.
 func (nd *Node) Stats() NodeStats {
 	s := nd.stats
+	if nd.misses != nil {
+		s.PeerMisses = append([]int64(nil), nd.misses...)
+	}
 	for link := nd.link; link != nil; {
 		if lc, ok := link.(linkCounters); ok {
 			s.Rejected += lc.AuthFailures() + lc.ReplayDrops() + lc.MisdirectDrops()
@@ -536,40 +621,6 @@ func (nd *Node) Stats() NodeStats {
 	return s
 }
 
-// markRecorded sets the replay-window bit for (sender, round), sliding the
-// sender's 64-round window forward as needed.
-func (nd *Node) markRecorded(from, round int) {
-	base := nd.winBase[from]
-	if round >= base+64 {
-		shift := round - (base + 63)
-		if shift >= 64 {
-			nd.winBits[from] = 0
-		} else {
-			nd.winBits[from] >>= shift
-		}
-		base += shift
-		nd.winBase[from] = base
-	}
-	if round >= base {
-		nd.winBits[from] |= 1 << uint(round-base)
-	}
-}
-
-// recordedBefore reports whether a frame for (sender, round) was already
-// recorded. Rounds below the window are treated as recorded — the same
-// convention as the transport replay filter, so ancient frames count as
-// replays rather than late originals.
-func (nd *Node) recordedBefore(from, round int) bool {
-	base := nd.winBase[from]
-	if round < base {
-		return true
-	}
-	if round >= base+64 {
-		return false
-	}
-	return nd.winBits[from]&(1<<uint(round-base)) != 0
-}
-
 // Run executes the protocol and returns this node's decision, as
 // RunContext without cancellation.
 func (nd *Node) Run() (float64, error) { return nd.RunContext(context.Background()) }
@@ -577,6 +628,12 @@ func (nd *Node) Run() (float64, error) { return nd.RunContext(context.Background
 // RunContext executes the protocol and returns this node's decision. It
 // blocks until the locally computed round count has elapsed or ctx is
 // cancelled; the caller runs one goroutine per node and joins them.
+//
+// The round loop is a scheduler over receive states: at depth 0 one state
+// exists (the current round's — strict lockstep, collect), at depth k > 0
+// the ring holds up to k+1 in-flight rounds and the node advances as soon
+// as the current round's quorum-or-deadline condition is met
+// (collectPipelined).
 func (nd *Node) RunContext(ctx context.Context) (float64, error) {
 	rounds, err := nd.cfg.Rounds()
 	if err != nil {
@@ -595,7 +652,12 @@ func (nd *Node) RunContext(ctx context.Context) (float64, error) {
 		if err := nd.send(r, occupied, cured); err != nil {
 			return 0, err
 		}
-		base, patch, err := nd.collect(ctx, r)
+		var base, patch []float64
+		if nd.cfg.PipelineDepth > 0 {
+			base, patch, err = nd.collectPipelined(ctx, r)
+		} else {
+			base, patch, err = nd.collect(ctx, r)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -760,7 +822,7 @@ func (nd *Node) collect(ctx context.Context, round int) (base, patch []float64, 
 		nd.stats.Received++
 		nd.seen[m.From] = true
 		nd.slots[m.From] = m
-		nd.markRecorded(m.From, m.Round)
+		nd.win[m.From].Record(m.Round)
 	}
 	for _, m := range nd.buffer[round] {
 		record(m)
@@ -786,7 +848,7 @@ func (nd *Node) collect(ctx context.Context, round int) (base, patch []float64, 
 				// Stale: that round already ended by deadline. The replay
 				// window tells a chaos duplicate of a recorded frame apart
 				// from a genuinely late original.
-				if m.From >= 0 && m.From < nd.cfg.N && nd.recordedBefore(m.From, m.Round) {
+				if m.From >= 0 && m.From < nd.cfg.N && nd.win[m.From].Recorded(m.Round) {
 					nd.stats.Duplicates++
 				} else {
 					nd.stats.Late++
@@ -817,6 +879,223 @@ done:
 		}
 	}
 	return base, patch, nil
+}
+
+// roundState is one in-flight round's receive state in the pipeline ring:
+// which round owns the slot (-1: free), how many expected senders reported,
+// and their messages. Slots recycle in place — the window [current,
+// current+k] spans at most k+1 rounds, and a slot's previous owner round
+// closed before its successor (k+1 rounds later) could enter the window.
+type roundState struct {
+	round int
+	count int
+	seen  []bool
+	slots []transport.Message
+}
+
+// slot returns round's receive state, activating (and recycling) its ring
+// entry on first touch.
+func (nd *Node) slot(round int) *roundState {
+	st := &nd.ring[round%len(nd.ring)]
+	if st.round != round {
+		st.round = round
+		st.count = 0
+		for i := range st.seen {
+			st.seen[i] = false
+		}
+	}
+	return st
+}
+
+// collectPipelined is collect's pipelined-mode counterpart: the
+// round-scheduler closes round r against the ring's per-round receive
+// states. Frames for rounds (r, r+k] are recorded into their own slot
+// instead of a map, so later rounds fill while r is still open; frames
+// outside the window are dropped and counted. Round r closes on the first
+// of: every expected sender reported; the early-close quorum held (a
+// majority reported, and advancing keeps this node within k rounds of the
+// slowest non-stalled peer); all still-missing senders are stall-flagged;
+// or the deadline fired. Missing senders become omissions on every close
+// path — exactly the deadline's ruling, reached sooner.
+func (nd *Node) collectPipelined(ctx context.Context, round int) (base, patch []float64, err error) {
+	st := nd.slot(round)
+	deadline := time.NewTimer(nd.cfg.RoundTimeout)
+	defer deadline.Stop()
+	for {
+		// Drain everything already delivered before consulting the close
+		// rule: an early close must never discard a frame that has arrived.
+		for st.count < nd.expect {
+			select {
+			case m, ok := <-nd.link.Recv():
+				if !ok {
+					return nil, nil, errors.New("cluster: link closed mid-round")
+				}
+				nd.admit(m, round)
+				continue
+			default:
+			}
+			break
+		}
+		if nd.closeable(st, round) {
+			break
+		}
+		select {
+		case m, ok := <-nd.link.Recv():
+			if !ok {
+				return nil, nil, errors.New("cluster: link closed mid-round")
+			}
+			nd.admit(m, round)
+		case <-deadline.C:
+			goto closed
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+closed:
+	if st.count < nd.expect {
+		// Missing senders become detected omissions (benign), and raise
+		// the per-peer miss score the stall classification feeds on.
+		nd.stats.Omissions += int64(nd.expect - st.count)
+		for _, s := range nd.dests {
+			if !st.seen[s] && s != nd.cfg.ID {
+				nd.misses[s]++
+			}
+		}
+	}
+	// Refresh the stall classification for the next round: a peer whose
+	// newest observed frame trails the round this node is advancing to by
+	// more than k is stalled; it recovers as soon as its frames catch back
+	// up within the window.
+	k := nd.cfg.PipelineDepth
+	for _, s := range nd.dests {
+		if s == nd.cfg.ID {
+			continue
+		}
+		stalled := round+1-nd.lastSeen[s] > k
+		if stalled && !nd.stalled[s] {
+			nd.stats.StallEvents++
+		}
+		nd.stalled[s] = stalled
+	}
+	base, patch = nd.base[:0], nd.patch[:0]
+	for s := range st.slots {
+		if !st.seen[s] {
+			continue
+		}
+		if m := st.slots[s]; !m.Omitted && !math.IsNaN(m.Value) {
+			if nd.isAsym[s] {
+				patch = append(patch, m.Value)
+			} else {
+				base = append(base, m.Value)
+			}
+		} else {
+			nd.stats.Omissions++
+		}
+	}
+	return base, patch, nil
+}
+
+// admit routes one inbound frame against the pipeline window [round,
+// round+k]. Any frame from an expected sender — stale ones included —
+// refreshes lastSeen: even a too-old frame proves the peer alive, which the
+// stall detector and pacing brake feed on.
+func (nd *Node) admit(m transport.Message, round int) {
+	if m.From < 0 || m.From >= nd.cfg.N || !nd.inNbr[m.From] {
+		nd.stats.Rejected++
+		return
+	}
+	if m.Round > nd.lastSeen[m.From] {
+		nd.lastSeen[m.From] = m.Round
+	}
+	switch {
+	case m.Round < round:
+		// That round closed. A recorded (sender, round) is a chaos
+		// duplicate; an unrecorded one fell out of the window: stale.
+		if nd.win[m.From].Recorded(m.Round) {
+			nd.stats.Duplicates++
+		} else {
+			nd.stats.StaleRounds++
+		}
+	case m.Round > round+nd.cfg.PipelineDepth:
+		// Beyond the window: the sender ran further ahead than the ring
+		// tracks (it has stall-flagged this node). Dropped and counted;
+		// its absence surfaces as an omission when this round is reached.
+		nd.stats.StaleRounds++
+	default:
+		st := nd.slot(m.Round)
+		if st.seen[m.From] {
+			nd.stats.Duplicates++
+			return
+		}
+		st.seen[m.From] = true
+		st.slots[m.From] = m
+		st.count++
+		nd.stats.Received++
+		nd.win[m.From].Record(m.Round)
+	}
+}
+
+// closeable reports whether round's receive state can close now. With
+// SyncRounds (chaos deployments) rounds always last their full deadline at
+// any depth — early close would reintroduce the cross-node round skew the
+// shared round clock exists to remove, breaking seeded replay — so only
+// the deadline closes them.
+func (nd *Node) closeable(st *roundState, round int) bool {
+	if nd.cfg.SyncRounds {
+		return false
+	}
+	if st.count == nd.expect {
+		return true
+	}
+	// Quorum: a majority reported, and advancing keeps this node within k
+	// rounds of the slowest peer still considered live. The missing
+	// minority becomes omissions — exactly what the deadline would rule,
+	// reached as soon as the ruling cannot change the quorum.
+	if 2*st.count > nd.expect && nd.withinBrake(round) {
+		return true
+	}
+	// Every still-missing sender is stall-flagged: waiting out the
+	// deadline buys nothing — their round-r frames are already beyond the
+	// window on their side.
+	return nd.missingAllStalled(st)
+}
+
+// withinBrake reports whether advancing past round keeps this node within
+// PipelineDepth rounds of the slowest non-stalled peer's newest observed
+// frame. Stalled peers are excluded — the stall detector's point is that
+// one wedged peer must not wedge the cluster — and with no live peer at
+// all the brake holds (the all-stalled close and the deadline pace the
+// node instead).
+func (nd *Node) withinBrake(round int) bool {
+	min, live := 0, false
+	for _, s := range nd.dests {
+		if s == nd.cfg.ID || nd.stalled[s] {
+			continue
+		}
+		if !live || nd.lastSeen[s] < min {
+			min, live = nd.lastSeen[s], true
+		}
+	}
+	if !live {
+		return false
+	}
+	return round+1-min <= nd.cfg.PipelineDepth
+}
+
+// missingAllStalled reports whether every expected sender still missing
+// from the round is currently stall-flagged. The node itself is never
+// flagged, so a round with nothing received (not even the self frame)
+// stays open.
+func (nd *Node) missingAllStalled(st *roundState) bool {
+	if st.count == 0 {
+		return false
+	}
+	for _, s := range nd.dests {
+		if !st.seen[s] && !nd.stalled[s] {
+			return false
+		}
+	}
+	return true
 }
 
 // contains reports whether xs includes x.

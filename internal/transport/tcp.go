@@ -59,8 +59,8 @@ func (l *channelLink) Close() error { return nil }
 
 // TCPNode is one protocol node communicating over real TCP connections with
 // HMAC-authenticated frames. Inbound frames that fail authentication, carry
-// the wrong destination, or replay an already-seen (from, round, seq) tuple
-// are counted and dropped before reaching the protocol.
+// the wrong destination, or replay an already-seen (from, instance, round,
+// seq) tuple are counted and dropped before reaching the protocol.
 type TCPNode struct {
 	id    int
 	n     int
@@ -299,6 +299,25 @@ func (nd *TCPNode) FramesReceived() int64 { return nd.framesRecv.Load() }
 // achieved (frames per write).
 func (nd *TCPNode) BatchWrites() int64 { return nd.batchWrites.Load() }
 
+// SetReplayWindow widens the replay filter's per-flow round window to
+// tolerate w rounds of skew behind a flow's newest frame (default 4, which
+// covers lockstep). Pipelined deployments, where a node legitimately runs
+// PipelineDepth rounds ahead of a peer, must widen it to depth plus slack
+// or a lagging peer's catch-up frames read as replays. Call it before
+// traffic flows: flows already tracked keep the width they were created
+// with. w is clamped to [1, MaxRoundWindow-1].
+func (nd *TCPNode) SetReplayWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	if w > MaxRoundWindow-1 {
+		w = MaxRoundWindow - 1
+	}
+	nd.filterMu.Lock()
+	nd.filter.window = w
+	nd.filterMu.Unlock()
+}
+
 func (nd *TCPNode) acceptLoop() {
 	defer nd.wg.Done()
 	for {
@@ -484,20 +503,22 @@ var (
 )
 
 // replayFilter remembers rounds per (sender, instance, seq) flow within a
-// sliding round window and rejects duplicates. The window tolerates the
-// one-round skew a lockstep protocol can exhibit. Keying flows by instance
-// (and by seq, which the service layer stamps with the registration epoch)
-// matters under multiplexing: every instance — and every incarnation of a
-// reused instance id — starts at round 0, so a per-sender high-water mark
-// shared across them would reject a fresh instance's opening rounds as
-// stale replays of an older one. A replayed frame from a retired
-// incarnation still lands in its original flow and is rejected there; if
-// that flow was already evicted, the frame passes here but carries the old
-// epoch, which the service demux drops.
+// sliding RoundWindow and rejects duplicates — admission is effectively
+// keyed (from, instance, round, seq). The window tolerates the round skew
+// the protocol can exhibit: one round in lockstep, up to the pipeline depth
+// plus slack in pipelined deployments (TCPNode.SetReplayWindow widens it).
+// Keying flows by instance (and by seq, which the service layer stamps with
+// the registration epoch) matters under multiplexing: every instance — and
+// every incarnation of a reused instance id — starts at round 0, so a
+// per-sender high-water mark shared across them would reject a fresh
+// instance's opening rounds as stale replays of an older one. A replayed
+// frame from a retired incarnation still lands in its original flow and is
+// rejected there; if that flow was already evicted, the frame passes here
+// but carries the old epoch, which the service demux drops.
 type replayFilter struct {
 	window int
 	limit  int // max tracked flows; oldest are evicted beyond it
-	flows  map[replayKey]*replayFlow
+	flows  map[replayKey]*RoundWindow
 	order  []replayKey // flow insertion order, drives eviction
 }
 
@@ -505,11 +526,6 @@ type replayKey struct {
 	from     int
 	instance uint32
 	seq      uint32
-}
-
-type replayFlow struct {
-	highwater int
-	seen      map[int]bool // rounds recorded within the window
 }
 
 func newReplayFilter() *replayFilter {
@@ -520,13 +536,14 @@ func newReplayFilter() *replayFilter {
 		// memory for long-lived service nodes — evicting a dormant flow
 		// only forgets replay history the demux's epoch check still covers.
 		limit: 1 << 14,
-		flows: make(map[replayKey]*replayFlow),
+		flows: make(map[replayKey]*RoundWindow),
 	}
 }
 
-// admit reports whether (round) is fresh for its (sender, instance, seq)
-// flow, recording it if so. Frames older than the window below the flow's
-// high-water round are treated as replays outright.
+// admit reports whether round is fresh for its (sender, instance, seq)
+// flow, recording it if so. Rounds that fell below the flow's window — more
+// than `window` rounds behind its newest — read as already recorded and are
+// rejected as replays outright.
 func (f *replayFilter) admit(from int, instance uint32, round int, seq uint32) bool {
 	id := replayKey{from: from, instance: instance, seq: seq}
 	fl, ok := f.flows[id]
@@ -536,25 +553,15 @@ func (f *replayFilter) admit(from int, instance uint32, round int, seq uint32) b
 			f.order = f.order[1:]
 			delete(f.flows, oldest)
 		}
-		fl = &replayFlow{highwater: -1, seen: make(map[int]bool)}
+		// The window spans the newest round plus `window` rounds behind it.
+		w := NewRoundWindow(f.window + 1)
+		fl = &w
 		f.flows[id] = fl
 		f.order = append(f.order, id)
 	}
-	if fl.highwater >= 0 && round < fl.highwater-f.window {
+	if fl.Recorded(round) {
 		return false
 	}
-	if fl.seen[round] {
-		return false
-	}
-	fl.seen[round] = true
-	if round > fl.highwater {
-		fl.highwater = round
-		// Prune rounds that slid out of the window.
-		for r := range fl.seen {
-			if r < round-f.window {
-				delete(fl.seen, r)
-			}
-		}
-	}
+	fl.Record(round)
 	return true
 }

@@ -1,0 +1,74 @@
+package transport
+
+// MaxRoundWindow is the widest span a RoundWindow can track: the bitmap is
+// one machine word.
+const MaxRoundWindow = 64
+
+// RoundWindow is a sliding bitmap of recorded rounds — the shared admission
+// primitive behind the cluster node's per-sender replay window and the TCP
+// replay filter's per-flow round tracking. It remembers the most recent
+// `width` rounds ending at the highest round recorded so far. Rounds below
+// the window read as recorded (an ancient frame counts as a replay, never as
+// a fresh original), rounds above it as unrecorded. The zero value is an
+// empty window of the maximum width.
+type RoundWindow struct {
+	bits  uint64
+	base  int
+	width int // rounds tracked; 0 means MaxRoundWindow
+}
+
+// NewRoundWindow returns an empty window tracking width rounds, clamped to
+// [1, MaxRoundWindow].
+func NewRoundWindow(width int) RoundWindow {
+	if width < 1 {
+		width = 1
+	}
+	if width > MaxRoundWindow {
+		width = MaxRoundWindow
+	}
+	return RoundWindow{width: width}
+}
+
+// span returns the effective width (the zero value tracks MaxRoundWindow).
+func (w *RoundWindow) span() int {
+	if w.width == 0 {
+		return MaxRoundWindow
+	}
+	return w.width
+}
+
+// Record marks round as recorded, sliding the window forward as needed.
+// Rounds below the current window are ignored — they already read as
+// recorded.
+func (w *RoundWindow) Record(round int) {
+	width := w.span()
+	if round >= w.base+width {
+		shift := round - (w.base + width - 1)
+		if shift >= width {
+			w.bits = 0
+		} else {
+			w.bits >>= uint(shift)
+		}
+		w.base += shift
+	}
+	if round >= w.base {
+		w.bits |= 1 << uint(round-w.base)
+	}
+}
+
+// Recorded reports whether round was recorded: below-window rounds are
+// treated as recorded, above-window rounds as unrecorded.
+func (w *RoundWindow) Recorded(round int) bool {
+	if round < w.base {
+		return true
+	}
+	if round >= w.base+w.span() {
+		return false
+	}
+	return w.bits&(1<<uint(round-w.base)) != 0
+}
+
+// Reset empties the window for reuse, keeping its width.
+func (w *RoundWindow) Reset() {
+	w.bits, w.base = 0, 0
+}

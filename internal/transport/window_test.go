@@ -1,0 +1,110 @@
+package transport
+
+import "testing"
+
+// TestRoundWindowSlide pins the sliding-bitmap semantics both consumers rely
+// on: in-window rounds track individually, below-window rounds read as
+// recorded, above-window rounds as unrecorded, and recording slides the base
+// so exactly `width` rounds ending at the newest stay addressable.
+func TestRoundWindowSlide(t *testing.T) {
+	w := NewRoundWindow(5)
+	if w.Recorded(0) {
+		t.Error("fresh window has round 0 recorded")
+	}
+	w.Record(0)
+	if !w.Recorded(0) {
+		t.Error("round 0 not recorded after Record")
+	}
+	if w.Recorded(-1) == false {
+		t.Error("below-window round must read as recorded")
+	}
+	w.Record(10) // slides base to 6
+	for r := 0; r <= 5; r++ {
+		if !w.Recorded(r) {
+			t.Errorf("round %d slid below the window but reads unrecorded", r)
+		}
+	}
+	for r := 6; r <= 9; r++ {
+		if w.Recorded(r) {
+			t.Errorf("round %d inside the slid window reads recorded without a Record", r)
+		}
+	}
+	if !w.Recorded(10) {
+		t.Error("newest round lost on slide")
+	}
+	// Out-of-order recording within the window still lands.
+	w.Record(7)
+	if !w.Recorded(7) || w.Recorded(8) {
+		t.Error("in-window out-of-order Record mis-tracked")
+	}
+	if w.Recorded(11) {
+		t.Error("above-window round reads recorded")
+	}
+}
+
+// TestRoundWindowZeroValue: the zero value behaves as the cluster node's
+// historical 64-round window — empty, base 0, negatives recorded.
+func TestRoundWindowZeroValue(t *testing.T) {
+	var w RoundWindow
+	if w.Recorded(0) || w.Recorded(63) {
+		t.Error("zero-value window not empty")
+	}
+	if w.Recorded(64) {
+		t.Error("round 64 is above the zero-value window")
+	}
+	if !w.Recorded(-1) {
+		t.Error("negative round must read as recorded")
+	}
+	w.Record(63)
+	if !w.Recorded(63) || w.Recorded(62) {
+		t.Error("zero-value window mis-tracked round 63")
+	}
+	w.Record(64) // slides by 1
+	if !w.Recorded(0) {
+		t.Error("round 0 slid out but reads unrecorded")
+	}
+	if !w.Recorded(63) || !w.Recorded(64) {
+		t.Error("slide lost recorded rounds")
+	}
+	w.Reset()
+	if w.Recorded(64) || !w.Recorded(-1) {
+		t.Error("Reset did not empty the window")
+	}
+}
+
+// TestRoundWindowFarJump: a jump past the whole window clears it rather than
+// shifting garbage in.
+func TestRoundWindowFarJump(t *testing.T) {
+	w := NewRoundWindow(4)
+	w.Record(0)
+	w.Record(1000)
+	if !w.Recorded(1000) {
+		t.Error("far-jump round lost")
+	}
+	for r := 997; r < 1000; r++ {
+		if w.Recorded(r) {
+			t.Errorf("round %d reads recorded after far jump", r)
+		}
+	}
+	if !w.Recorded(996) {
+		t.Error("below-window round after far jump must read recorded")
+	}
+}
+
+// TestRoundWindowWidthClamp pins the constructor clamp.
+func TestRoundWindowWidthClamp(t *testing.T) {
+	w := NewRoundWindow(0)
+	w.Record(0)
+	if !w.Recorded(0) {
+		t.Error("width-clamped window dropped its only round")
+	}
+	w.Record(1)
+	if !w.Recorded(0) {
+		t.Error("width-1 window: round 0 should now read as below-window recorded")
+	}
+	big := NewRoundWindow(1 << 20)
+	big.Record(MaxRoundWindow) // would overflow an unclamped shift base
+	if !big.Recorded(MaxRoundWindow) || big.Recorded(MaxRoundWindow-1) {
+		t.Error("max-width clamp mis-tracked")
+	}
+}

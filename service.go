@@ -36,6 +36,12 @@ type ServiceSpec struct {
 	FixedRounds int `json:"fixed_rounds,omitempty"`
 	// RoundTimeout is the receive-phase deadline. Zero means 200ms.
 	RoundTimeout time.Duration `json:"round_timeout,omitempty"`
+	// PipelineDepth lets every instance's nodes run up to this many rounds
+	// ahead of their slowest live peer (see ClusterSpec.PipelineDepth). Zero
+	// keeps strict lockstep. Pipelined instances put more frames in flight,
+	// multiplying the cross-instance coalescing opportunity on the TCP
+	// transport.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 	// AlgorithmName selects the MSR voting function by registered name.
 	AlgorithmName string `json:"algorithm,omitempty"`
 	// ScheduleName selects the fault schedule (see ClusterSpec).
@@ -88,6 +94,7 @@ func (s ServiceSpec) clusterSpec() ClusterSpec {
 		InputRange:    s.InputRange,
 		FixedRounds:   s.FixedRounds,
 		RoundTimeout:  s.RoundTimeout,
+		PipelineDepth: s.PipelineDepth,
 		AlgorithmName: s.AlgorithmName,
 		ScheduleName:  s.ScheduleName,
 		Topology:      s.Topology,
@@ -254,8 +261,9 @@ func (e *Engine) Serve(ctx context.Context, spec ServiceSpec) (*Service, error) 
 	case "", "memory":
 		// Every node's inbox is shared by all hosted instances until the
 		// demux fans frames out; lockstep bounds each instance to about two
-		// rounds in flight, so size for the concurrency cap.
-		hub, err := transport.NewChannel(n, 2*spec.MaxConcurrent+8)
+		// rounds in flight (plus PipelineDepth more when pipelined), so size
+		// for the concurrency cap.
+		hub, err := transport.NewChannel(n, (2+spec.PipelineDepth)*spec.MaxConcurrent+8)
 		if err != nil {
 			return nil, err
 		}
@@ -267,6 +275,13 @@ func (e *Engine) Serve(ctx context.Context, spec ServiceSpec) (*Service, error) 
 		nodes, err := transport.NewTCPMesh(n, cs.Key)
 		if err != nil {
 			return nil, err
+		}
+		if spec.PipelineDepth > 0 {
+			// Pipelined instances legitimately keep PipelineDepth rounds in
+			// flight per flow; widen the per-flow replay filters to match.
+			for _, nd := range nodes {
+				nd.SetReplayWindow(spec.PipelineDepth + 4)
+			}
 		}
 		tcpNodes = nodes
 		for i := range links {
@@ -512,8 +527,9 @@ func (s *Service) execute(id uint32, inputs []float64) (*ClusterResult, []FaultE
 		return nil, nil, err
 	}
 	// Lockstep keeps at most about two rounds of n frames in flight per
-	// instance; 4n+4 gives headroom for deadline skew.
-	links, err := s.group.Register(id, 4*s.n+4)
+	// instance; 4n+4 gives headroom for deadline skew, and pipelining adds
+	// up to PipelineDepth more rounds of legitimate skew per peer.
+	links, err := s.group.Register(id, (4+2*s.spec.PipelineDepth)*s.n+4)
 	if err != nil {
 		return nil, nil, configErrorf("InstanceID", "%v", err)
 	}

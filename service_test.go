@@ -106,6 +106,43 @@ func TestServiceSubmitAwait(t *testing.T) {
 	}
 }
 
+// TestServicePipelined: a pipelined service (every instance's nodes running
+// up to PipelineDepth rounds ahead) still completes and converges on every
+// instance. The quorum close may rule slow frames omissions, so the horizon
+// is pinned with slack instead of relying on the lossless contraction rate.
+func TestServicePipelined(t *testing.T) {
+	const instances = 6
+	spec := serviceSpec()
+	spec.PipelineDepth = 2
+	spec.FixedRounds = 20
+	svc, err := mbfaa.NewEngine().Serve(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = svc.Close() }()
+	handles := make([]*mbfaa.Handle, instances)
+	for i := range handles {
+		h, err := svc.Submit(context.Background(), uint32(i+1), deployInputs(uint64(40+i), spec.N, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := svc.Await(context.Background(), h)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i+1, err)
+		}
+		if !res.Converged || !res.Valid() {
+			t.Errorf("instance %d: converged=%v valid=%v diameter=%g",
+				i+1, res.Converged, res.Valid(), res.DecisionDiameter())
+		}
+	}
+	if st := svc.Stats(); st.Completed != instances || st.Failed != 0 {
+		t.Errorf("stats = %+v, want %d completed", st, instances)
+	}
+}
+
 // TestServiceConcurrentGoldenDigests is the tentpole determinism criterion:
 // many concurrent instances each produce a verdict bit-identical to their
 // single-instance Deployment digest, at different concurrency bounds and
