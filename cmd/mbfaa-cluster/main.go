@@ -79,7 +79,13 @@ func main() {
 		corruptRate = flag.Float64("corrupt-rate", 0, "chaos: per-frame corruption probability (frames fail HMAC and are rejected)")
 		reorderRate = flag.Float64("reorder-rate", 0, "chaos: per-frame reorder probability (held until the link's next send)")
 		latencyMax  = flag.Duration("latency-max", 0, "chaos: per-frame latency jitter upper bound (keep below half the round timeout)")
+		resetRate   = flag.Float64("reset-rate", 0, "chaos: per-frame connection-reset probability (tcp: the frame's connection is torn down mid-stream and healed by the writer)")
+		dialRate    = flag.Float64("dial-fail-rate", 0, "chaos: per-attempt dial-failure probability (tcp: reconnects retry under the backoff policy)")
+		dialBurst   = flag.Int("dial-fail-burst", 0, "chaos: consecutive dial attempts failed per triggered window (0 or 1: a single attempt)")
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: master seed; soak derives one campaign seed per epoch from it")
+		retryBase   = flag.Duration("retry-base", 0, "tcp reconnect: initial backoff between redial attempts (0: 5ms default)")
+		retryMax    = flag.Duration("retry-max", 0, "tcp reconnect: backoff ceiling (0: 500ms default)")
+		retryBudget = flag.Duration("retry-budget", 0, "tcp reconnect: total time per outage before the peer degrades to counted drops (0: 15s default)")
 		profFlags   = prof.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -116,17 +122,25 @@ func main() {
 		AllowSubBound: *subBound,
 	}
 	chaos := mbfaa.ChaosSpec{
-		Seed:        *chaosSeed,
-		DropRate:    *dropRate,
-		DupRate:     *dupRate,
-		CorruptRate: *corruptRate,
-		ReorderRate: *reorderRate,
-		LatencyMax:  *latencyMax,
+		Seed:          *chaosSeed,
+		DropRate:      *dropRate,
+		DupRate:       *dupRate,
+		CorruptRate:   *corruptRate,
+		ReorderRate:   *reorderRate,
+		LatencyMax:    *latencyMax,
+		ResetRate:     *resetRate,
+		DialFailRate:  *dialRate,
+		DialFailBurst: *dialBurst,
 	}
 	if !*soak && chaos.Active() {
 		// Chaos flags on a single run attach the spec directly: one epoch,
 		// the given seed.
 		spec.Chaos = &chaos
+	}
+	if *retryBase != 0 || *retryMax != 0 || *retryBudget != 0 {
+		spec.Retry = &mbfaa.RetryPolicy{
+			Base: *retryBase, Max: *retryMax, Budget: *retryBudget, Seed: *chaosSeed,
+		}
 	}
 	if *showSpec {
 		enc := json.NewEncoder(os.Stdout)
@@ -168,6 +182,7 @@ func main() {
 		if chaos.Active() {
 			sspec.Chaos = &chaos
 		}
+		sspec.Retry = spec.Retry
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		if err := runServe(ctx, sspec, *instances, *seed, os.Stdout); err != nil {
@@ -235,6 +250,10 @@ func main() {
 				fmt.Printf(" stale=%-4d stalls=%-3d score=%v",
 					st.StaleRounds, st.StallEvents, st.PeerMisses)
 			}
+			if *transport == "tcp" {
+				fmt.Printf(" reconnects=%-3d dial-retries=%-3d peer-down=%d/%d",
+					st.Reconnects, st.DialRetries, st.PeerDownEvents, st.PeerDownDrops)
+			}
 			fmt.Println()
 		}
 		if frames, writes := dep.Coalescing(); writes > 0 {
@@ -243,8 +262,9 @@ func main() {
 		}
 		if res.Chaos != nil {
 			c := res.Chaos
-			fmt.Printf("  chaos: injected=%d (drop=%d dup=%d corrupt=%d reorder=%d delay=%d part=%d crash=%d)\n",
-				c.Total(), c.Drops, c.Duplicated, c.Corrupted, c.Reordered, c.Delayed, c.PartitionDrops, c.CrashDrops)
+			fmt.Printf("  chaos: injected=%d (drop=%d dup=%d corrupt=%d reorder=%d delay=%d part=%d crash=%d reset=%d dial-fail=%d)\n",
+				c.Total(), c.Drops, c.Duplicated, c.Corrupted, c.Reordered, c.Delayed, c.PartitionDrops, c.CrashDrops,
+				c.Resets, c.DialFails)
 		}
 	}
 	if err := stopProf(); err != nil {
@@ -354,9 +374,9 @@ func soakEpochSeed(master uint64, epoch int) uint64 {
 // to reproduce the identical fault trace — and returns an error.
 func runSoak(ctx context.Context, base mbfaa.ClusterSpec, chaos mbfaa.ChaosSpec, epochs int, w io.Writer) error {
 	master := chaos.Seed
-	fmt.Fprintf(w, "soak: n=%d f=%d model=%v chaos={drop=%g dup=%g corrupt=%g reorder=%g latency<=%v} master-seed=%d epochs=%s\n",
+	fmt.Fprintf(w, "soak: n=%d f=%d model=%v chaos={drop=%g dup=%g corrupt=%g reorder=%g latency<=%v reset=%g dial-fail=%g} master-seed=%d epochs=%s\n",
 		base.N, base.F, base.Model, chaos.DropRate, chaos.DupRate, chaos.CorruptRate, chaos.ReorderRate,
-		chaos.LatencyMax, master, epochCount(epochs))
+		chaos.LatencyMax, chaos.ResetRate, chaos.DialFailRate, master, epochCount(epochs))
 	for epoch := 0; epochs <= 0 || epoch < epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			fmt.Fprintf(w, "soak: interrupted after %d epochs\n", epoch)
@@ -416,21 +436,25 @@ func printEpochStats(w io.Writer, epoch int, res *mbfaa.ClusterResult) {
 		return
 	}
 	var omissions, dups, late, corrupt int64
+	var reconnects, peerDrops int64
 	for _, st := range res.Stats {
 		omissions += st.Omissions
 		dups += st.Duplicates
 		late += st.Late
 		corrupt += st.Corrupt
+		reconnects += st.Reconnects
+		peerDrops += st.PeerDownDrops
 	}
 	faults := "none"
 	if res.Chaos != nil {
-		faults = fmt.Sprintf("%d (drop=%d dup=%d corrupt=%d reorder=%d delay=%d part=%d crash=%d)",
+		faults = fmt.Sprintf("%d (drop=%d dup=%d corrupt=%d reorder=%d delay=%d part=%d crash=%d reset=%d dial-fail=%d)",
 			res.Chaos.Total(), res.Chaos.Drops, res.Chaos.Duplicated, res.Chaos.Corrupted,
-			res.Chaos.Reordered, res.Chaos.Delayed, res.Chaos.PartitionDrops, res.Chaos.CrashDrops)
+			res.Chaos.Reordered, res.Chaos.Delayed, res.Chaos.PartitionDrops, res.Chaos.CrashDrops,
+			res.Chaos.Resets, res.Chaos.DialFails)
 	}
-	fmt.Fprintf(w, "epoch %d: converged=%v diameter=%.6g rounds=%d elapsed=%v injected=%s observed={omit=%d dup=%d late=%d corrupt=%d}\n",
+	fmt.Fprintf(w, "epoch %d: converged=%v diameter=%.6g rounds=%d elapsed=%v injected=%s observed={omit=%d dup=%d late=%d corrupt=%d reconnect=%d peer-drop=%d}\n",
 		epoch, res.Converged, res.DecisionDiameter(), res.Rounds,
-		res.Elapsed.Round(time.Millisecond), faults, omissions, dups, late, corrupt)
+		res.Elapsed.Round(time.Millisecond), faults, omissions, dups, late, corrupt, reconnects, peerDrops)
 }
 
 // soakViolation builds the replay-instruction error every violation exits

@@ -37,6 +37,11 @@ type (
 	FaultEvent = transport.FaultEvent
 	// ChaosStats totals the faults a chaos layer injected during a run.
 	ChaosStats = transport.ChaosStats
+	// RetryPolicy shapes the TCP transport's self-healing reconnects:
+	// exponential backoff (Base doubling up to Max, with seeded jitter) and
+	// the per-outage retry Budget after which a peer degrades to the down
+	// state and its frames become counted drops instead of errors.
+	RetryPolicy = transport.RetryPolicy
 )
 
 // defaultClusterKey authenticates frames of local demo/test TCP meshes when
@@ -121,6 +126,13 @@ type ClusterSpec struct {
 	// FixedRounds, the run horizon is stretched to absorb the injected
 	// loss rate and heal windows.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// Retry, when non-nil, overrides the TCP transport's self-healing
+	// reconnect policy (transport.DefaultRetryPolicy otherwise; zero fields
+	// inherit its values). Keep Base well below RoundTimeout so a healed
+	// connection's retransmits still land inside their round — the
+	// determinism caveat for connection chaos. Ignored by the in-memory
+	// transport.
+	Retry *RetryPolicy `json:"retry,omitempty"`
 	// RunHorizon overrides the watchdog deadline after which Run gives up
 	// on unresponsive nodes and returns a *NodeDownError. Zero derives it
 	// from the round count and RoundTimeout.
@@ -245,6 +257,16 @@ func (s ClusterSpec) validate(topo ClusterTopology) error {
 						budget, s.F, err)
 				}
 			}
+		}
+	}
+	if s.Retry != nil {
+		if err := s.Retry.Validate(); err != nil {
+			return configErrorf("Retry", "%v", err)
+		}
+		if base := s.Retry.Base; base > s.RoundTimeout/2 {
+			return configErrorf("Retry",
+				"backoff base %v exceeds half the %v round timeout; a healed connection's retransmits would miss their round",
+				base, s.RoundTimeout)
 		}
 	}
 	for i, v := range s.Inputs {
@@ -482,6 +504,11 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 				nd.SetReplayWindow(spec.PipelineDepth + 4)
 			}
 		}
+		if spec.Retry != nil {
+			for _, nd := range nodes {
+				nd.SetRetryPolicy(*spec.Retry)
+			}
+		}
 		closeMesh := func() error {
 			var first error
 			for _, nd := range nodes {
@@ -503,6 +530,10 @@ func (e *Engine) Deploy(spec ClusterSpec) (*Deployment, error) {
 			}
 			d.chaos = chaos
 			for i := range d.links {
+				// The chaos layer doubles as each node's dial-fault oracle,
+				// so connection faults replay from the same master seed as
+				// frame faults.
+				nodes[i].SetDialFaults(chaos)
 				d.links[i] = chaos.WrapLink(nodes[i], i)
 			}
 			d.closer = func() error {

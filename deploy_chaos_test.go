@@ -142,13 +142,108 @@ func TestDeployChaosReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestDeployTCPConnectionChaos runs a real TCP deployment under injected
+// connection faults: seeded mid-stream resets tear connections down and
+// seeded dial-failure windows fight the redials. The self-healing writers
+// must absorb every outage — the run completes and converges with no
+// *NodeDownError, the damage surfaces only as omission-style NodeStats
+// counters, and the same seed reproduces the same fault trace and verdict.
+func TestDeployTCPConnectionChaos(t *testing.T) {
+	spec := func() mbfaa.ClusterSpec {
+		return mbfaa.ClusterSpec{
+			Model:        mbfaa.M4,
+			N:            8,
+			Inputs:       deployInputs(31, 8, 0, 1),
+			Epsilon:      1e-3,
+			InputRange:   1,
+			FixedRounds:  10,
+			RoundTimeout: 200 * time.Millisecond,
+			Transport:    "tcp",
+			Chaos: &mbfaa.ChaosSpec{
+				Seed:          3,
+				ResetRate:     0.05,
+				DialFailRate:  0.2,
+				DialFailBurst: 2,
+			},
+			// Heal outages well inside the round deadline so no frame misses
+			// its round and the verdict stays deterministic.
+			Retry: &mbfaa.RetryPolicy{Base: time.Millisecond, Max: 8 * time.Millisecond, Budget: 2 * time.Second},
+		}
+	}
+
+	res1, trace1 := runChaosDeploy(t, spec())
+	res2, trace2 := runChaosDeploy(t, spec())
+
+	if res1.Chaos == nil || res1.Chaos.Resets == 0 {
+		t.Fatalf("ResetRate 0.05 injected no connection resets; the heal assertion is vacuous (chaos: %+v)", res1.Chaos)
+	}
+	if !res1.Converged {
+		t.Errorf("TCP run under connection chaos did not converge (diameter %g)", res1.DecisionDiameter())
+	}
+	var reconnects, downEvents int64
+	for _, st := range res1.Stats {
+		reconnects += st.Reconnects
+		downEvents += st.PeerDownEvents
+	}
+	if reconnects == 0 {
+		t.Error("injected resets produced no reconnects in NodeStats")
+	}
+	if downEvents != 0 {
+		t.Errorf("healable outages marked %d peers down; the budget must absorb them", downEvents)
+	}
+
+	// Same seed, same campaign: the fault trace and the verdict surface
+	// replay bit-for-bit. Per-node Stats are NOT compared — reconnect and
+	// dial-retry counts depend on real outage timing.
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("fault traces diverge across same-seed TCP runs: %d vs %d events", len(trace1), len(trace2))
+	}
+	if !reflect.DeepEqual(res1.Votes, res2.Votes) {
+		t.Errorf("votes diverge across same-seed TCP runs")
+	}
+	if !reflect.DeepEqual(res1.Decided, res2.Decided) || res1.Converged != res2.Converged {
+		t.Errorf("verdicts diverge across same-seed TCP runs")
+	}
+}
+
+// TestDeployRetryValidation pins the retry-policy gate: malformed policies
+// and backoffs too slow for the round deadline are rejected at Deploy time
+// as spec errors, before any socket opens.
+func TestDeployRetryValidation(t *testing.T) {
+	base := chaosDeploySpec(1)
+	base.Transport = "tcp"
+
+	bad := base
+	bad.Retry = &mbfaa.RetryPolicy{Base: -time.Millisecond}
+	if _, err := mbfaa.NewEngine().Deploy(bad); !errors.Is(err, mbfaa.ErrSpec) {
+		t.Fatalf("negative retry base deployed: err = %v, want ErrSpec", err)
+	}
+
+	inverted := base
+	inverted.Retry = &mbfaa.RetryPolicy{Base: 50 * time.Millisecond, Max: time.Millisecond}
+	if _, err := mbfaa.NewEngine().Deploy(inverted); !errors.Is(err, mbfaa.ErrSpec) {
+		t.Fatalf("max below base deployed: err = %v, want ErrSpec", err)
+	}
+
+	slow := base
+	slow.Retry = &mbfaa.RetryPolicy{Base: 200 * time.Millisecond, Max: 400 * time.Millisecond}
+	slow.RoundTimeout = 150 * time.Millisecond
+	if _, err := mbfaa.NewEngine().Deploy(slow); !errors.Is(err, mbfaa.ErrSpec) {
+		t.Fatalf("backoff base past half the round timeout deployed: err = %v, want ErrSpec", err)
+	}
+}
+
 // TestDeployChaosSpecRoundTrip pins the replay workflow's serialization: a
-// ClusterSpec with a ChaosSpec survives JSON intact, so a printed seed can
-// be copied into a stored spec.
+// ClusterSpec with a ChaosSpec and RetryPolicy survives JSON intact, so a
+// printed seed can be copied into a stored spec.
 func TestDeployChaosSpecRoundTrip(t *testing.T) {
 	spec := chaosDeploySpec(7)
 	spec.Chaos.Partitions = []mbfaa.PartitionWindow{{Start: 2, End: 4, A: []int{0, 1}}}
 	spec.Chaos.Crashes = []mbfaa.CrashWindow{{Node: 3, Start: 1, End: 2}}
+	spec.Chaos.ResetRate = 0.1
+	spec.Chaos.DialFailRate = 0.05
+	spec.Chaos.DialFailBurst = 2
+	spec.Retry = &mbfaa.RetryPolicy{Base: 2 * time.Millisecond, Max: 40 * time.Millisecond, Budget: 3 * time.Second, Seed: 9}
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +254,9 @@ func TestDeployChaosSpecRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(back.Chaos, spec.Chaos) {
 		t.Fatalf("chaos spec did not round-trip:\n  %+v\n  %+v", spec.Chaos, back.Chaos)
+	}
+	if !reflect.DeepEqual(back.Retry, spec.Retry) {
+		t.Fatalf("retry policy did not round-trip:\n  %+v\n  %+v", spec.Retry, back.Retry)
 	}
 }
 

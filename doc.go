@@ -48,11 +48,21 @@
 //     like Spec and validates eagerly (under-provisioned systems fail with
 //     the same *BoundError as CheckSystem before any socket opens);
 //     Deployment.Run(ctx) returns a ClusterResult embedding the core
-//     Result shape plus per-node transport counters and throughput. Unlike
-//     the simulation engines a deployment is not bit-deterministic — real
-//     sockets race — so the comparable surface is the verdict (Converged,
-//     DecisionDiameter, Valid), not the decision bits. The exception is a
-//     chaos deployment (below), which is engineered to replay.
+//     Result shape plus per-node transport counters and throughput. The
+//     TCP transport is self-healing: a broken connection is redialed
+//     under ClusterSpec.Retry (exponential backoff, seeded jitter,
+//     bounded total budget) with the unwritten frames retained and
+//     resent from the last frame boundary, and a peer whose outage
+//     exhausts the budget degrades to omission faults — its frames
+//     become counted drops (NodeStats.PeerDownDrops), never errors,
+//     until an inbound frame or successful dial resurrects it. The
+//     protocol layer is insulated by construction: link failures reach
+//     it only as the omissions the paper's fault model already covers.
+//     Unlike the simulation engines a deployment is not
+//     bit-deterministic — real sockets race — so the comparable surface
+//     is the verdict (Converged, DecisionDiameter, Valid), not the
+//     decision bits. The exception is a chaos deployment (below), which
+//     is engineered to replay.
 //
 //   - Engine.Serve(ctx, ServiceSpec) is the long-lived form of Deploy: one
 //     transport mesh hosting many concurrent agreement instances, each a
@@ -128,11 +138,19 @@
 // duplication, bounded reordering, frame corruption (mangled bytes pushed
 // through the real codec so the HMAC rejection fires — counted in
 // NodeStats.Corrupt, never delivered wrong), round-indexed partitions
-// with heal times, and per-node crash-recover windows. Faults are drawn
-// from a seeded splittable PRNG stream keyed by (directed link, message
+// with heal times, per-node crash-recover windows, and connection
+// faults: ResetRate severs a live TCP connection mid-stream (healed by
+// the transport's retry machinery) and DialFailRate/DialFailBurst open
+// seeded windows of failing dial attempts. Frame faults are drawn from
+// a seeded splittable PRNG stream keyed by (directed link, message
 // index) in a fixed order, so the injected-fault trace
 // (Deployment.FaultTrace) is bit-identical for a given seed regardless
-// of scheduling.
+// of scheduling. Resets are part of that trace on every transport;
+// dial failures are keyed by (link, attempt index) — deterministic as
+// decisions, but counted outside the ordered trace because the attempt
+// index advances with real reconnect timing. Connection faults are not
+// charged against the Table 2 budget: the transport heals them, so
+// they cost latency, not omissions.
 //
 // The stronger contract — identical verdicts, votes and per-node
 // NodeStats across same-seed runs — additionally requires the shared

@@ -393,6 +393,21 @@ type NodeStats struct {
 	// per-instance route, under the service demux) was full — the receiver
 	// sees them as omissions (folded from the link).
 	Overflow int64
+	// Reconnects counts outbound connections the transport's self-healing
+	// writers re-established after a write or dial failure (folded from the
+	// link; always zero on the in-memory transport).
+	Reconnects int64
+	// DialRetries counts failed outbound dial attempts, each retried or
+	// given up under the transport's retry policy (folded from the link).
+	DialRetries int64
+	// PeerDownEvents counts peers that exhausted the retry budget and
+	// transitioned into the down state (folded from the link).
+	PeerDownEvents int64
+	// PeerDownDrops counts outbound frames absorbed as drops because their
+	// peer was down — omission-style losses, not errors: the receiving side
+	// scores them via Omissions/PeerMisses like any silent sender (folded
+	// from the link).
+	PeerDownDrops int64
 }
 
 // linkCounters is implemented by transports that count their own drops
@@ -415,6 +430,15 @@ type chaosCounters interface {
 // the node folds the count into its Overflow stat.
 type overflowCounter interface {
 	InboundOverflow() int64
+}
+
+// healthCounters is implemented by self-healing transports (TCPNode); the
+// node folds the reconnect and peer-health counters into its NodeStats.
+type healthCounters interface {
+	Reconnects() int64
+	DialRetries() int64
+	PeerDownEvents() int64
+	PeerDownDrops() int64
 }
 
 // linkUnwrapper is implemented by wrapping links (the chaos layer) so
@@ -611,6 +635,12 @@ func (nd *Node) Stats() NodeStats {
 		}
 		if oc, ok := link.(overflowCounter); ok {
 			s.Overflow += oc.InboundOverflow()
+		}
+		if hc, ok := link.(healthCounters); ok {
+			s.Reconnects += hc.Reconnects()
+			s.DialRetries += hc.DialRetries()
+			s.PeerDownEvents += hc.PeerDownEvents()
+			s.PeerDownDrops += hc.PeerDownDrops()
 		}
 		u, ok := link.(linkUnwrapper)
 		if !ok {

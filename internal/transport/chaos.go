@@ -50,6 +50,25 @@ type ChaosSpec struct {
 	// the *fault trace* stays deterministic either way, but a delay that
 	// races the deadline makes the protocol outcome timing-dependent.
 	LatencyMax time.Duration `json:"latency_max,omitempty"`
+	// ResetRate injects a mid-stream connection reset before the frame is
+	// handed on: on transports that hold real per-peer connections (TCP)
+	// the sender's live connection to the destination is closed, and the
+	// self-healing writer retains and resends over a fresh one. The reset
+	// decision rides the same per-frame stream as the other rates, so the
+	// fault trace stays a pure function of the seed; on connectionless
+	// transports it is recorded but has no effect.
+	ResetRate float64 `json:"reset_rate,omitempty"`
+	// DialFailRate fails an outbound dial attempt with this probability,
+	// opening a window of DialFailBurst consecutive failures per trigger —
+	// connection churn the transport's retry policy must ride out. The
+	// decision stream is seeded per (link, attempt index); the attempt
+	// index itself advances with real reconnect timing, so dial faults are
+	// counted (ChaosStats.DialFails) but kept out of the ordered frame
+	// trace.
+	DialFailRate float64 `json:"dial_fail_rate,omitempty"`
+	// DialFailBurst is how many consecutive dial attempts fail once
+	// DialFailRate triggers (0 and 1 both mean a single attempt).
+	DialFailBurst int `json:"dial_fail_burst,omitempty"`
 	// Partitions are scheduled network splits with heal times.
 	Partitions []PartitionWindow `json:"partitions,omitempty"`
 	// Crashes are per-node crash-recover windows: a crashed node's
@@ -84,6 +103,7 @@ func (s *ChaosSpec) Active() bool {
 	}
 	return s.DropRate > 0 || s.DupRate > 0 || s.CorruptRate > 0 ||
 		s.ReorderRate > 0 || s.LatencyMax > 0 ||
+		s.ResetRate > 0 || s.DialFailRate > 0 ||
 		len(s.Partitions) > 0 || len(s.Crashes) > 0
 }
 
@@ -98,6 +118,8 @@ func (s *ChaosSpec) Validate(n int) error {
 		{"dup_rate", s.DupRate},
 		{"corrupt_rate", s.CorruptRate},
 		{"reorder_rate", s.ReorderRate},
+		{"reset_rate", s.ResetRate},
+		{"dial_fail_rate", s.DialFailRate},
 	} {
 		if r.rate < 0 || r.rate > 1 || math.IsNaN(r.rate) {
 			return fmt.Errorf("transport: chaos %s %v outside [0,1]", r.name, r.rate)
@@ -105,6 +127,9 @@ func (s *ChaosSpec) Validate(n int) error {
 	}
 	if s.LatencyMax < 0 {
 		return fmt.Errorf("transport: chaos latency_max %v negative", s.LatencyMax)
+	}
+	if s.DialFailBurst < 0 {
+		return fmt.Errorf("transport: chaos dial_fail_burst %d negative", s.DialFailBurst)
 	}
 	for i, w := range s.Partitions {
 		if w.Start < 0 || w.End <= w.Start {
@@ -172,6 +197,10 @@ func (s *ChaosSpec) partitionedAt(from, to, round int) bool {
 // plus the worst number of concurrently crashed nodes, plus the largest
 // partition minority (an isolated node loses every sender on the far side).
 // Deployments validate schedule f + FaultBudget against the model bound.
+// Connection-level faults (ResetRate, DialFailRate) are deliberately not
+// budgeted: the transport's retry policy heals them — frames are retained
+// and resent, not lost — so they cost latency within the round, not
+// omissions.
 func (s *ChaosSpec) FaultBudget(n int) int {
 	if s == nil || n <= 1 {
 		return 0
@@ -238,6 +267,7 @@ const (
 	FaultDup
 	FaultReorder
 	FaultDelay
+	FaultReset
 )
 
 // String implements fmt.Stringer.
@@ -257,6 +287,8 @@ func (k FaultKind) String() string {
 		return "reorder"
 	case FaultDelay:
 		return "delay"
+	case FaultReset:
+		return "reset"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(k))
 	}
@@ -278,12 +310,13 @@ type FaultEvent struct {
 type ChaosStats struct {
 	Drops, Corrupted, Duplicated, Reordered, Delayed int64
 	PartitionDrops, CrashDrops                       int64
+	Resets, DialFails                                int64
 }
 
 // Total returns the number of injected fault events.
 func (s ChaosStats) Total() int64 {
 	return s.Drops + s.Corrupted + s.Duplicated + s.Reordered + s.Delayed +
-		s.PartitionDrops + s.CrashDrops
+		s.PartitionDrops + s.CrashDrops + s.Resets + s.DialFails
 }
 
 // chaosKey authenticates the frames the corruption path mangles. The value
@@ -325,6 +358,7 @@ type Chaos struct {
 
 	drops, corrupts, dups, reorders, delays atomic.Int64
 	partDrops, crashDrops                   atomic.Int64
+	resets, dialFails                       atomic.Int64
 
 	// Per-destination counters let the receiving node attribute chaos
 	// losses in its own stats (corrupt-rejected, partition/crash drops).
@@ -336,10 +370,11 @@ type Chaos struct {
 // counter driving the fault stream, the reorder hold-back slot, and the
 // link's slice of the fault trace.
 type chaosLinkState struct {
-	mu     sync.Mutex
-	count  uint64
-	held   *heldFrame
-	events []FaultEvent
+	mu        sync.Mutex
+	count     uint64
+	held      *heldFrame
+	events    []FaultEvent
+	dialBurst int // remaining injected dial failures of an open window
 }
 
 // heldFrame is a reordered frame waiting for its successor on the link.
@@ -385,7 +420,7 @@ func (c *Chaos) Send(m Message) error {
 	if c.inner == nil {
 		return fmt.Errorf("transport: chaos has no inner transport (use WrapLink)")
 	}
-	return c.process(m, c.inner.Send)
+	return c.process(m, c.inner.Send, nil)
 }
 
 // SendBatch implements BatchSender: each message runs the pipeline
@@ -395,7 +430,7 @@ func (c *Chaos) SendBatch(ms []Message) error {
 		return fmt.Errorf("transport: chaos has no inner transport (use WrapLink)")
 	}
 	for _, m := range ms {
-		if err := c.process(m, c.inner.Send); err != nil {
+		if err := c.process(m, c.inner.Send, nil); err != nil {
 			return err
 		}
 	}
@@ -446,7 +481,45 @@ func (c *Chaos) Stats() ChaosStats {
 		Delayed:        c.delays.Load(),
 		PartitionDrops: c.partDrops.Load(),
 		CrashDrops:     c.crashDrops.Load(),
+		Resets:         c.resets.Load(),
+		DialFails:      c.dialFails.Load(),
 	}
+}
+
+// dialStreamSalt separates the dial-failure decision stream from the
+// per-frame fault streams in the Derive label space (node ids stay far
+// below it).
+const dialStreamSalt = ^uint64(0)
+
+// FailDial implements the transport's DialFaultInjector hook: attempt k on
+// the directed link from→to fails when the seeded dial stream opens a
+// failure window there — DialFailRate per attempt, each trigger failing
+// DialFailBurst consecutive attempts. Decisions are a pure function of
+// (seed, link, attempt index); the attempt index itself advances with real
+// reconnect timing, so injected dial faults are counted in ChaosStats but
+// not part of the ordered frame trace.
+func (c *Chaos) FailDial(from, to int, attempt uint64) bool {
+	if c.spec.DialFailRate <= 0 || from < 0 || from >= c.n || to < 0 || to >= c.n {
+		return false
+	}
+	ls := &c.links[from*c.n+to]
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.dialBurst > 0 {
+		ls.dialBurst--
+		c.dialFails.Add(1)
+		return true
+	}
+	var src prng.Source
+	c.master.DeriveInto(&src, dialStreamSalt, uint64(from), uint64(to), attempt)
+	if !src.Bool(c.spec.DialFailRate) {
+		return false
+	}
+	if burst := c.spec.DialFailBurst; burst > 1 {
+		ls.dialBurst = burst - 1
+	}
+	c.dialFails.Add(1)
+	return true
 }
 
 // Trace returns the injected-fault trace: every link's events concatenated
@@ -473,9 +546,13 @@ func (c *Chaos) PartitionDropsTo(id int) int64 { return c.partTo[id].Load() }
 
 // process runs one frame through the fault pipeline, forwarding survivors
 // via deliver. The draw order per frame is fixed (drop, corrupt, dup,
-// reorder, delay) so the stream consumption — and with it the whole fault
-// trace — is reproducible from the seed alone.
-func (c *Chaos) process(m Message, deliver func(Message) error) error {
+// reorder, delay, reset) so the stream consumption — and with it the whole
+// fault trace — is reproducible from the seed alone; the reset draw sits
+// last so zero-reset specs keep their historical per-frame streams.
+// disrupt, when non-nil, enacts an injected connection reset on the
+// sender's link to m.To (the TCP wrap path); elsewhere a reset is recorded
+// but has nothing to sever.
+func (c *Chaos) process(m Message, deliver func(Message) error, disrupt func(int)) error {
 	if m.From < 0 || m.From >= c.n || m.To < 0 || m.To >= c.n {
 		return fmt.Errorf("transport: chaos send %d->%d out of range [0,%d)", m.From, m.To, c.n)
 	}
@@ -493,6 +570,7 @@ func (c *Chaos) process(m Message, deliver func(Message) error) error {
 	if c.spec.LatencyMax > 0 {
 		delay = time.Duration(src.Range(0, float64(c.spec.LatencyMax)))
 	}
+	reset := src.Bool(c.spec.ResetRate)
 	// The current frame settles first; a reorder hold-back from the
 	// previous send on this link is released after it (the swap that makes
 	// the reordering bounded to a window of one frame).
@@ -503,6 +581,18 @@ func (c *Chaos) process(m Message, deliver func(Message) error) error {
 		ls.events = append(ls.events, FaultEvent{
 			From: m.From, To: m.To, Index: k, Round: m.Round, Kind: kind, Delay: d,
 		})
+	}
+
+	if reset {
+		// A mid-stream connection reset, severed before the frame is handed
+		// on: the frame itself survives — the transport's healing writer
+		// retains and resends it over a fresh connection — so a reset is
+		// connection churn, not an omission.
+		record(FaultReset, 0)
+		c.resets.Add(1)
+		if disrupt != nil {
+			disrupt(m.To)
+		}
 	}
 
 	var err error
@@ -609,24 +699,45 @@ type chaosLink struct {
 	inner Link // nil in hub mode
 }
 
+// ConnDisruptor is implemented by links whose transport holds real per-peer
+// connections the chaos layer can reset mid-stream (TCPNode).
+type ConnDisruptor interface {
+	DisruptOutbound(to int)
+}
+
+// deliver forwards a surviving frame to the wrapped link (or the hub). It
+// prefers the inner link's batched path: on TCP that is the self-healing
+// per-peer writer, so an injected reset degrades into a retained-and-resent
+// frame instead of a synchronous write error aborting the run.
 func (l *chaosLink) deliver(m Message) error {
 	if l.inner != nil {
+		if bs, ok := l.inner.(BatchSender); ok {
+			return bs.SendBatch([]Message{m})
+		}
 		return l.inner.Send(m)
 	}
 	return l.c.inner.Send(m)
 }
 
+// disrupt enacts an injected connection reset on transports with real
+// connections; elsewhere the reset is a recorded no-op.
+func (l *chaosLink) disrupt(to int) {
+	if d, ok := l.inner.(ConnDisruptor); ok {
+		d.DisruptOutbound(to)
+	}
+}
+
 // Send implements Link, stamping the local identity like every Link does.
 func (l *chaosLink) Send(m Message) error {
 	m.From = l.id
-	return l.c.process(m, l.deliver)
+	return l.c.process(m, l.deliver, l.disrupt)
 }
 
 // SendBatch implements BatchSender.
 func (l *chaosLink) SendBatch(ms []Message) error {
 	for i := range ms {
 		ms[i].From = l.id
-		if err := l.c.process(ms[i], l.deliver); err != nil {
+		if err := l.c.process(ms[i], l.deliver, l.disrupt); err != nil {
 			return err
 		}
 	}

@@ -258,8 +258,12 @@ func TestChaosTraceDeterminism(t *testing.T) {
 		DupRate:     0.2,
 		CorruptRate: 0.2,
 		ReorderRate: 0.2,
-		Partitions:  []PartitionWindow{{Start: 2, End: 4, A: []int{0, 1}}},
-		Crashes:     []CrashWindow{{Node: 3, Start: 5, End: 7}},
+		// Resets are recorded in the trace on every transport (enacted only
+		// where a connection exists to sever), so they are part of the
+		// replay contract this test pins.
+		ResetRate:  0.2,
+		Partitions: []PartitionWindow{{Start: 2, End: 4, A: []int{0, 1}}},
+		Crashes:    []CrashWindow{{Node: 3, Start: 5, End: 7}},
 	}
 	run := func(seed uint64) ([]FaultEvent, ChaosStats, map[int]int) {
 		s := spec
@@ -376,6 +380,10 @@ func TestChaosSpecValidate(t *testing.T) {
 		{"crash forever", ChaosSpec{Crashes: []CrashWindow{{Node: 0, Start: 3}}}, true},
 		{"crash bad node", ChaosSpec{Crashes: []CrashWindow{{Node: 4, Start: 0, End: 1}}}, false},
 		{"crash empty window", ChaosSpec{Crashes: []CrashWindow{{Node: 0, Start: 2, End: 2}}}, false},
+		{"connection rates", ChaosSpec{ResetRate: 0.2, DialFailRate: 0.5, DialFailBurst: 3}, true},
+		{"negative reset rate", ChaosSpec{ResetRate: -0.1}, false},
+		{"dial rate above one", ChaosSpec{DialFailRate: 1.5}, false},
+		{"negative dial burst", ChaosSpec{DialFailRate: 0.5, DialFailBurst: -1}, false},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate(4)
@@ -384,6 +392,76 @@ func TestChaosSpecValidate(t *testing.T) {
 		}
 		if !tc.ok && err == nil {
 			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+}
+
+// TestChaosDialFaultDeterminism pins the dial-fault stream contract:
+// decisions are a pure function of (seed, link, attempt), bursts fail the
+// configured run of consecutive attempts, and different seeds open
+// different windows.
+func TestChaosDialFaultDeterminism(t *testing.T) {
+	const attempts = 200
+	script := func(seed uint64, burst int) []bool {
+		c, err := NewChaos(nil, 2, ChaosSpec{Seed: seed, DialFailRate: 0.15, DialFailBurst: burst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, attempts)
+		for k := range out {
+			out[k] = c.FailDial(0, 1, uint64(k))
+		}
+		return out
+	}
+
+	one := script(11, 0)
+	if !reflect.DeepEqual(one, script(11, 0)) {
+		t.Fatal("same seed produced different dial-fault scripts")
+	}
+	if reflect.DeepEqual(one, script(12, 0)) {
+		t.Error("different seeds produced identical dial-fault scripts")
+	}
+	fails := 0
+	for _, f := range one {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("rate 0.15 over 200 attempts failed none; the determinism check is vacuous")
+	}
+
+	// A burst window fails at least `burst` consecutive attempts from each
+	// trigger; with the same seed the triggers land on the same attempts.
+	burst := script(11, 3)
+	for k, f := range burst {
+		if f && !one[k] && (k < 2 || !burst[k-1]) {
+			t.Errorf("attempt %d: burst window opened where the burstless stream had no trigger", k)
+		}
+	}
+	run, maxRun := 0, 0
+	for _, f := range burst {
+		if f {
+			run++
+		} else {
+			run = 0
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	if maxRun < 3 {
+		t.Errorf("DialFailBurst 3 never produced 3 consecutive failures (max run %d)", maxRun)
+	}
+
+	// The rate-0 spec never fails a dial, whatever the attempt index.
+	c, err := NewChaos(nil, 2, ChaosSpec{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 16; k++ {
+		if c.FailDial(0, 1, uint64(k)) {
+			t.Fatal("zero-rate spec injected a dial failure")
 		}
 	}
 }

@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// roundCollector accumulates distinct rounds received from one peer.
+// Waiting for delivery between phases is what makes a disruption
+// meaningful: it proves the writer has an adopted, live connection to
+// sever (DisruptOutbound on a not-yet-dialed pipeline is a no-op).
+type roundCollector struct {
+	node *TCPNode
+	from int
+	seen map[int]bool
+}
+
+// waitFor drains the inbox until every round in [0, count) has arrived or
+// the deadline passes (deduping retransmitted frames), and reports whether
+// the set is complete.
+func (rc *roundCollector) waitFor(t *testing.T, count int, deadline time.Duration) bool {
+	t.Helper()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for len(rc.seen) < count {
+		select {
+		case m, ok := <-rc.node.Recv():
+			if !ok {
+				t.Fatalf("inbox closed with %d/%d rounds received", len(rc.seen), count)
+			}
+			if m.From == rc.from {
+				rc.seen[m.Round] = true
+			}
+		case <-timer.C:
+			return false
+		}
+	}
+	return true
+}
+
+// TestTCPReconnectHealsDisruptedConnection severs the established 0→1
+// connection mid-stream with a raw close (the chaos layer's reset hook) and
+// keeps the batch pipeline flowing: the writer must redial, resend the
+// retained frames from the last frame boundary, and deliver every round —
+// the outage is invisible beyond replay dedup.
+func TestTCPReconnectHealsDisruptedConnection(t *testing.T) {
+	nodes, err := NewTCPMesh(2, []byte("heal-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	const phase = 16
+	rc := &roundCollector{node: nodes[1], seen: make(map[int]bool)}
+	for burst := 0; burst < 3; burst++ {
+		for r := burst * phase; r < (burst+1)*phase; r++ {
+			if err := nodes[0].SendBatch([]Message{{Round: r, To: 1, Value: float64(r)}}); err != nil {
+				t.Fatalf("SendBatch round %d: %v", r, err)
+			}
+		}
+		if !rc.waitFor(t, (burst+1)*phase, 15*time.Second) {
+			t.Fatalf("burst %d: only %d/%d rounds arrived; the pipeline did not heal", burst, len(rc.seen), (burst+1)*phase)
+		}
+		if burst < 2 {
+			// The burst is fully delivered, so the writer holds a live
+			// adopted connection — tear it down under its feet.
+			nodes[0].DisruptOutbound(1)
+		}
+	}
+	for r := 0; r < 3*phase; r++ {
+		if !rc.seen[r] {
+			t.Errorf("round %d lost across the reconnect", r)
+		}
+	}
+	if got := nodes[0].Reconnects(); got == 0 {
+		t.Error("Reconnects = 0 after a mid-stream disruption; the heal was never counted")
+	}
+	if got := nodes[0].PeerState(1); got != PeerLive {
+		t.Errorf("PeerState(1) = %v after healing, want live", got)
+	}
+	if got := nodes[0].PeerDownEvents(); got != 0 {
+		t.Errorf("PeerDownEvents = %d, want 0 — a healed outage must not count as down", got)
+	}
+}
+
+// TestTCPChaosResetHealsWithoutLoss drives the full chaos-injection path:
+// seeded mid-stream resets from the ChaosSpec sever real TCP connections
+// via the ConnDisruptor hook, and the self-healing writer delivers every
+// frame regardless.
+func TestTCPChaosResetHealsWithoutLoss(t *testing.T) {
+	nodes, err := NewTCPMesh(2, []byte("chaos-reset-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	c, err := NewChaos(nil, 2, ChaosSpec{Seed: 7, ResetRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].SetDialFaults(c)
+	link0, ok := c.WrapLink(nodes[0], 0).(BatchSender)
+	if !ok {
+		t.Fatal("wrapped TCP link lost its batch path")
+	}
+
+	// Pace the stream one frame at a time: each frame is delivered before
+	// the next is sent, so an injected reset always severs a live adopted
+	// connection and the following frame exercises the heal.
+	const rounds = 40
+	rc := &roundCollector{node: nodes[1], seen: make(map[int]bool)}
+	for r := 0; r < rounds; r++ {
+		if err := link0.SendBatch([]Message{{Round: r, To: 1, Value: float64(r)}}); err != nil {
+			t.Fatalf("SendBatch round %d: %v", r, err)
+		}
+		if !rc.waitFor(t, r+1, 15*time.Second) {
+			t.Fatalf("round %d never arrived (%d/%d delivered); an injected reset was not healed", r, len(rc.seen), rounds)
+		}
+	}
+	if got := c.Stats().Resets; got == 0 {
+		t.Fatal("ResetRate 0.25 over 40 frames injected no resets; the heal assertion is vacuous")
+	}
+	if got := nodes[0].Reconnects(); got == 0 {
+		t.Error("Reconnects = 0 under injected resets")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scriptedDialFaults is a test double for the chaos dial hook: a switchable
+// all-or-nothing failure source, for driving a peer down and back up
+// without racing real port rebinding.
+type scriptedDialFaults struct{ fail atomic.Bool }
+
+func (s *scriptedDialFaults) FailDial(from, to int, attempt uint64) bool { return s.fail.Load() }
+
+// downPeer drives node's view of `to` into the down state by failing every
+// dial until the retry budget exhausts, then returns. The caller owns the
+// injector and can lift the outage afterwards.
+func downPeer(t *testing.T, nd *TCPNode, to int, inj *scriptedDialFaults) {
+	t.Helper()
+	inj.fail.Store(true)
+	nd.SetDialFaults(inj)
+	nd.SetRetryPolicy(RetryPolicy{Base: time.Millisecond, Max: 4 * time.Millisecond, Budget: 40 * time.Millisecond})
+	deadline := time.Now().Add(10 * time.Second)
+	for r := 0; nd.PeerDownDrops() == 0; r++ {
+		if err := nd.SendBatch([]Message{{Round: r, To: to}}); err != nil {
+			t.Fatalf("SendBatch during outage errored (%v); want graceful degradation", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peer never degraded to down under a failing dial injector")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := nd.PeerState(to); got != PeerDown {
+		t.Fatalf("PeerState(%d) = %v, want down", to, got)
+	}
+}
+
+// TestTCPPeerResurrectsOnSyncSend pins one resurrection edge: a downed peer
+// comes back when a synchronous Send dials it successfully, and the batch
+// pipeline resumes delivering.
+func TestTCPPeerResurrectsOnSyncSend(t *testing.T) {
+	nodes, err := NewTCPMesh(2, []byte("resurrect-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	inj := &scriptedDialFaults{}
+	downPeer(t, nodes[0], 1, inj)
+
+	inj.fail.Store(false)
+	if err := nodes[0].Send(Message{Round: 100, To: 1, Value: 100}); err != nil {
+		t.Fatalf("sync Send after lifting the outage: %v", err)
+	}
+	if got := nodes[0].PeerState(1); got != PeerLive {
+		t.Fatalf("PeerState(1) = %v after successful Send, want live", got)
+	}
+	if err := nodes[0].SendBatch([]Message{{Round: 101, To: 1, Value: 101}}); err != nil {
+		t.Fatal(err)
+	}
+	// The outage-era frames were counted drops, so exactly the two
+	// post-resurrection rounds arrive.
+	rc := &roundCollector{node: nodes[1], seen: make(map[int]bool)}
+	if !rc.waitFor(t, 2, 10*time.Second) || !rc.seen[100] || !rc.seen[101] {
+		t.Fatalf("post-resurrection frames lost: got rounds %v", rc.seen)
+	}
+}
+
+// TestTCPPeerResurrectsOnInboundFrame pins the other resurrection edge: an
+// authenticated frame arriving FROM the downed peer proves it reachable
+// again, flips it back to live, and lets the batch pipeline redial.
+func TestTCPPeerResurrectsOnInboundFrame(t *testing.T) {
+	nodes, err := NewTCPMesh(2, []byte("resurrect-in-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(t, nodes)
+
+	inj := &scriptedDialFaults{}
+	downPeer(t, nodes[0], 1, inj)
+
+	inj.fail.Store(false)
+	if err := nodes[1].Send(Message{Round: 200, To: 0, Value: 200}); err != nil {
+		t.Fatalf("peer-side Send to node 0: %v", err)
+	}
+	// The inbound frame resurrects asynchronously in node 0's read loop.
+	deadline := time.Now().Add(10 * time.Second)
+	for nodes[0].PeerState(1) != PeerLive {
+		if time.Now().After(deadline) {
+			t.Fatalf("PeerState(1) = %v; an inbound frame never resurrected the peer", nodes[0].PeerState(1))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := nodes[0].SendBatch([]Message{{Round: 201, To: 1, Value: 201}}); err != nil {
+		t.Fatal(err)
+	}
+	rc := &roundCollector{node: nodes[1], seen: make(map[int]bool)}
+	if !rc.waitFor(t, 1, 10*time.Second) || !rc.seen[201] {
+		t.Fatalf("post-resurrection batch frame lost: got rounds %v", rc.seen)
+	}
+}
+
+// TestReplayFilterChurnBounded pins the eviction fix: sustained churn of
+// fresh flows through a full filter must reuse the ring's backing array,
+// not regrow it — the map and ring stay at the limit forever.
+func TestReplayFilterChurnBounded(t *testing.T) {
+	f := newReplayFilter()
+	f.limit = 8
+	for i := 0; i < 10_000; i++ {
+		if !f.admit(1, uint32(i), 0, 0) {
+			t.Fatalf("fresh flow %d rejected", i)
+		}
+	}
+	if len(f.flows) != f.limit {
+		t.Errorf("flows map holds %d entries, want the %d limit", len(f.flows), f.limit)
+	}
+	if len(f.order) != f.limit {
+		t.Errorf("order ring holds %d entries, want %d", len(f.order), f.limit)
+	}
+	if cap(f.order) > 2*f.limit {
+		t.Errorf("order ring capacity grew to %d under churn; the backing array is leaking", cap(f.order))
+	}
+	// An evicted flow is forgotten: its frames re-admit as a fresh flow.
+	if !f.admit(1, 0, 0, 0) {
+		t.Error("evicted flow not re-admitted after eviction")
+	}
+}

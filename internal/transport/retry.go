@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mbfaa/internal/prng"
+)
+
+// RetryPolicy configures the TCP transport's self-healing reconnect
+// behaviour: when a batched writer's connection dies (write error, dial
+// failure, chaos-injected reset), the writer retains its pending frames and
+// redials under exponential backoff with seeded jitter. Budget bounds the
+// total retry time of one outage; a peer that exhausts it transitions to the
+// down state and its frames become counted drops (PeerDownDrops) — the
+// omission faults the protocol already tolerates — instead of errors.
+//
+// The zero value means "use the transport defaults" (DefaultRetryPolicy);
+// individual zero fields are likewise filled with their defaults, so a spec
+// can pin just the budget and inherit the backoff shape.
+type RetryPolicy struct {
+	// Base is the delay before the second dial attempt of an outage (the
+	// first redial is immediate); each further attempt doubles it. Keep it
+	// well below the protocol's round deadline so a healed connection's
+	// retransmits still land in their round. Zero means 5ms.
+	Base time.Duration `json:"base,omitempty"`
+	// Max caps the per-attempt backoff delay. Zero means 500ms.
+	Max time.Duration `json:"max,omitempty"`
+	// Budget bounds one outage's cumulative retry time: once redialing has
+	// consumed it, the peer is marked down. Zero means 15s.
+	Budget time.Duration `json:"budget,omitempty"`
+	// Seed derives the per-attempt jitter stream, keyed by (node, peer,
+	// attempt) so writers never thunder in phase. Zero is a valid seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// DefaultRetryPolicy returns the reconnect policy a TCPNode is born with.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Base:   5 * time.Millisecond,
+		Max:    500 * time.Millisecond,
+		Budget: 15 * time.Second,
+	}
+}
+
+// Validate rejects policies no backoff schedule can honour. Zero fields are
+// legal (they take the defaults); negative durations and a cap below the
+// base are not.
+func (p RetryPolicy) Validate() error {
+	if p.Base < 0 || p.Max < 0 || p.Budget < 0 {
+		return fmt.Errorf("transport: retry policy durations must be non-negative (base %v, max %v, budget %v)", p.Base, p.Max, p.Budget)
+	}
+	n := p.withDefaults()
+	if n.Max < n.Base {
+		return fmt.Errorf("transport: retry max %v below base %v", n.Max, n.Base)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.Base == 0 {
+		p.Base = d.Base
+	}
+	if p.Max == 0 {
+		p.Max = d.Max
+	}
+	if p.Budget == 0 {
+		p.Budget = d.Budget
+	}
+	return p
+}
+
+// jitter returns the delay before dial attempt seq of the link node→to:
+// uniform in [backoff/2, backoff), drawn from the policy's seeded stream so
+// replays of a deployment back off identically while distinct links stay out
+// of phase.
+func (p RetryPolicy) jitter(node, to int, seq uint64, backoff time.Duration) time.Duration {
+	if backoff <= 0 {
+		return 0
+	}
+	var src prng.Source
+	prng.New(p.Seed).DeriveInto(&src, uint64(node), uint64(to), seq)
+	half := float64(backoff) / 2
+	return time.Duration(math.Round(src.Range(half, float64(backoff))))
+}

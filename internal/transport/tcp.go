@@ -72,11 +72,15 @@ type TCPNode struct {
 	closed chan struct{}
 	wg     sync.WaitGroup
 
-	mu       sync.Mutex
-	conns    map[int]net.Conn  // outgoing synchronous Sends, keyed by peer id
-	outs     map[int]*peerOut  // outgoing batched/pipelined writers, keyed by peer id
-	accepted map[net.Conn]bool // inbound, owned until their readLoop exits
-	down     bool
+	mu         sync.Mutex
+	conns      map[int]net.Conn  // outgoing synchronous Sends, keyed by peer id
+	outs       map[int]*peerOut  // outgoing batched/pipelined writers, keyed by peer id
+	accepted   map[net.Conn]bool // inbound, owned until their readLoop exits
+	down       bool
+	retry      RetryPolicy       // reconnect policy the batch writers heal under
+	dialFaults DialFaultInjector // optional seeded dial-failure injection (chaos)
+
+	dialSeq []atomic.Uint64 // per-peer monotonic dial attempt counters
 
 	authFailures   atomic.Int64
 	replayDrops    atomic.Int64
@@ -84,6 +88,11 @@ type TCPNode struct {
 	framesSent     atomic.Int64
 	framesRecv     atomic.Int64
 	batchWrites    atomic.Int64
+	reconnects     atomic.Int64
+	dialRetries    atomic.Int64
+	peerDownEvents atomic.Int64
+	peerDownDrops  atomic.Int64
+	downPeers      atomic.Int64 // peers currently PeerDown, gates resurrection probes
 
 	filterMu sync.Mutex
 	filter   *replayFilter
@@ -113,6 +122,8 @@ func NewTCPNode(id, n int, ln net.Listener, addrs []string, key []byte) (*TCPNod
 		conns:    make(map[int]net.Conn, n),
 		outs:     make(map[int]*peerOut, n),
 		accepted: make(map[net.Conn]bool),
+		retry:    DefaultRetryPolicy(),
+		dialSeq:  make([]atomic.Uint64, n),
 		filter:   newReplayFilter(),
 	}
 	nd.wg.Add(1)
@@ -153,7 +164,19 @@ func NewTCPMesh(n int, key []byte) ([]*TCPNode, error) {
 	return nodes, nil
 }
 
-// Send implements Link. Connections are dialed lazily and reused.
+// DialFaultInjector is consulted before every outbound dial attempt; the
+// chaos layer implements it to open seeded dial-failure windows. attempt is
+// the directed link's monotonic dial counter.
+type DialFaultInjector interface {
+	FailDial(from, to int, attempt uint64) bool
+}
+
+// errDialFault marks a dial attempt failed by injection rather than the OS.
+var errDialFault = errors.New("transport: injected dial failure")
+
+// Send implements Link. Connections are dialed lazily — outside nd.mu and
+// under a bounded timeout, so an unreachable peer blocks neither Close nor
+// concurrent Sends to healthy peers — and reused.
 func (nd *TCPNode) Send(m Message) error {
 	if m.To < 0 || m.To >= nd.n {
 		return fmt.Errorf("transport: destination %d out of range [0,%d)", m.To, nd.n)
@@ -164,25 +187,68 @@ func (nd *TCPNode) Send(m Message) error {
 		return err
 	}
 	nd.mu.Lock()
-	defer nd.mu.Unlock()
 	if nd.down {
+		nd.mu.Unlock()
 		return ErrClosed
 	}
 	conn, ok := nd.conns[m.To]
 	if !ok {
-		conn, err = net.Dial("tcp", nd.addrs[m.To])
-		if err != nil {
-			return fmt.Errorf("transport: dial node %d: %w", m.To, err)
+		nd.mu.Unlock()
+		c, derr := nd.dialPeer(m.To)
+		if derr != nil {
+			return fmt.Errorf("transport: dial node %d: %w", m.To, derr)
 		}
-		nd.conns[m.To] = conn
+		nd.mu.Lock()
+		switch {
+		case nd.down:
+			nd.mu.Unlock()
+			_ = c.Close()
+			return ErrClosed
+		case nd.conns[m.To] != nil:
+			// A concurrent Send won the dial race; keep its connection.
+			_ = c.Close()
+			conn = nd.conns[m.To]
+		default:
+			nd.conns[m.To] = c
+			conn = c
+		}
 	}
+	// The write stays under nd.mu: concurrent Sends to one peer must not
+	// interleave frame bytes on the shared connection.
 	if _, err := conn.Write(frame); err != nil {
 		_ = conn.Close()
 		delete(nd.conns, m.To)
+		nd.mu.Unlock()
 		return fmt.Errorf("transport: write to node %d: %w", m.To, err)
 	}
 	nd.framesSent.Add(1)
+	nd.mu.Unlock()
+	// A successful synchronous send is fresh evidence of the peer: it
+	// resurrects a pipeline the batch writers had given up on.
+	if nd.downPeers.Load() > 0 {
+		nd.resurrect(m.To)
+	}
 	return nil
+}
+
+// dialPeer dials peer to under the transport's bounded timeout, consulting
+// the dial-fault injector first so chaos campaigns can fail attempts by
+// seed. Every failed attempt is counted in DialRetries.
+func (nd *TCPNode) dialPeer(to int) (net.Conn, error) {
+	seq := nd.dialSeq[to].Add(1) - 1
+	nd.mu.Lock()
+	inj := nd.dialFaults
+	nd.mu.Unlock()
+	if inj != nil && inj.FailDial(nd.id, to, seq) {
+		nd.dialRetries.Add(1)
+		return nil, errDialFault
+	}
+	c, err := net.DialTimeout("tcp", nd.addrs[to], peerDialTimeout)
+	if err != nil {
+		nd.dialRetries.Add(1)
+		return nil, err
+	}
+	return c, nil
 }
 
 // SendBatch implements BatchSender: the whole send phase is handed over in
@@ -193,8 +259,11 @@ func (nd *TCPNode) Send(m Message) error {
 // frames to the same peer coalesce into a single write (one write per
 // (round, peer) batch instead of one per message, fewer under load).
 //
-// Messages are stamped with the local identity in place. A peer whose
-// writer has failed reports that error on the next SendBatch naming it.
+// Messages are stamped with the local identity in place. A lost connection
+// does not surface here: the peer's writer retains the frames and heals
+// under the node's RetryPolicy, and a peer that exhausted its retry budget
+// absorbs frames as counted drops (PeerDownDrops) — omission faults the
+// cluster layer already tolerates — rather than erroring the batch.
 func (nd *TCPNode) SendBatch(ms []Message) error {
 	for i := range ms {
 		if ms[i].To < 0 || ms[i].To >= nd.n {
@@ -299,6 +368,104 @@ func (nd *TCPNode) FramesReceived() int64 { return nd.framesRecv.Load() }
 // achieved (frames per write).
 func (nd *TCPNode) BatchWrites() int64 { return nd.batchWrites.Load() }
 
+// Reconnects returns how many times a batch writer re-established its
+// connection after a write or dial failure.
+func (nd *TCPNode) Reconnects() int64 { return nd.reconnects.Load() }
+
+// DialRetries returns how many outbound dial attempts failed (each retried
+// or given up under the retry policy).
+func (nd *TCPNode) DialRetries() int64 { return nd.dialRetries.Load() }
+
+// PeerDownEvents returns how many times a peer exhausted the retry budget
+// and transitioned into the down state.
+func (nd *TCPNode) PeerDownEvents() int64 { return nd.peerDownEvents.Load() }
+
+// PeerDownDrops returns how many outbound frames were absorbed as counted
+// drops — never errors — because their peer was down.
+func (nd *TCPNode) PeerDownDrops() int64 { return nd.peerDownDrops.Load() }
+
+// SetRetryPolicy replaces the node's reconnect policy (the default is
+// DefaultRetryPolicy; zero fields inherit its values). Call it before
+// traffic flows: writers snapshot the policy as each outage starts.
+func (nd *TCPNode) SetRetryPolicy(p RetryPolicy) {
+	nd.mu.Lock()
+	nd.retry = p.withDefaults()
+	nd.mu.Unlock()
+}
+
+func (nd *TCPNode) retryPolicy() RetryPolicy {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.retry
+}
+
+// SetDialFaults installs a dial-fault injector consulted before every
+// outbound dial (nil removes it); the chaos layer uses it to fail attempts
+// from a seeded stream. Call it before traffic flows.
+func (nd *TCPNode) SetDialFaults(inj DialFaultInjector) {
+	nd.mu.Lock()
+	nd.dialFaults = inj
+	nd.mu.Unlock()
+}
+
+// DisruptOutbound closes the node's live outbound connections to peer to —
+// a mid-stream connection reset, the chaos layer's connection-level fault.
+// Batched frames are not lost: the writer discovers the reset on its next
+// write, retains the unwritten tail from the last frame boundary, and
+// resends it over a fresh connection under the retry policy.
+func (nd *TCPNode) DisruptOutbound(to int) {
+	nd.mu.Lock()
+	if c, ok := nd.conns[to]; ok {
+		_ = c.Close()
+		delete(nd.conns, to)
+	}
+	out := nd.outs[to]
+	nd.mu.Unlock()
+	if out == nil {
+		return
+	}
+	out.mu.Lock()
+	if out.conn != nil {
+		// The writer owns the cleanup: it sees the failed write and heals.
+		_ = out.conn.Close()
+	}
+	out.mu.Unlock()
+}
+
+// PeerState returns the health of the outbound pipeline to peer to
+// (PeerLive before the pipeline's first use).
+func (nd *TCPNode) PeerState(to int) PeerState {
+	nd.mu.Lock()
+	out := nd.outs[to]
+	nd.mu.Unlock()
+	if out == nil {
+		return PeerLive
+	}
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	return out.health
+}
+
+// resurrect returns peer's outbound pipeline to live on fresh evidence the
+// peer is reachable again — an accepted inbound frame from it, or a
+// successful synchronous dial. The next batch resumes delivery under a
+// fresh retry budget.
+func (nd *TCPNode) resurrect(peer int) {
+	nd.mu.Lock()
+	out := nd.outs[peer]
+	nd.mu.Unlock()
+	if out == nil {
+		return
+	}
+	out.mu.Lock()
+	if out.health == PeerDown && !out.closed {
+		out.health = PeerLive
+		nd.downPeers.Add(-1)
+		out.cond.Signal()
+	}
+	out.mu.Unlock()
+}
+
 // SetReplayWindow widens the replay filter's per-flow round window to
 // tolerate w rounds of skew behind a flow's newest frame (default 4, which
 // covers lockstep). Pipelined deployments, where a node legitimately runs
@@ -374,6 +541,11 @@ func (nd *TCPNode) readLoop(conn net.Conn) {
 			nd.replayDrops.Add(1)
 			continue
 		}
+		// An authenticated, fresh frame is proof its sender is back: let it
+		// resurrect an outbound pipeline that had gone down.
+		if nd.downPeers.Load() > 0 {
+			nd.resurrect(m.From)
+		}
 		select {
 		case nd.inbox <- m:
 			nd.framesRecv.Add(1)
@@ -383,19 +555,51 @@ func (nd *TCPNode) readLoop(conn net.Conn) {
 	}
 }
 
+// PeerState classifies one outbound peer pipeline's health: PeerLive while
+// the connection works (and before first use), PeerDegraded while the
+// writer redials a lost connection under backoff, PeerDown once an outage
+// exhausted the retry budget. A down peer absorbs frames as counted drops
+// (PeerDownDrops) — graceful degradation to the omission faults the
+// protocol tolerates — until fresh evidence of the peer (an accepted
+// inbound frame, a successful synchronous dial) resurrects it to PeerLive.
+type PeerState int32
+
+// The peer health states, in degradation order.
+const (
+	PeerLive PeerState = iota
+	PeerDegraded
+	PeerDown
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case PeerLive:
+		return "live"
+	case PeerDegraded:
+		return "degraded"
+	case PeerDown:
+		return "down"
+	default:
+		return fmt.Sprintf("peerstate(%d)", int32(s))
+	}
+}
+
 // peerOut is the outbound pipeline to one peer: callers append encoded
 // frames to pending under mu; a dedicated writer goroutine swaps the buffer
 // out and writes it in one call. pending and spare double-buffer so the
-// steady state allocates nothing.
+// steady state allocates nothing. The writer self-heals: a write or dial
+// failure degrades the pipeline and triggers backoff-governed redialing
+// rather than a terminal error.
 type peerOut struct {
 	nd *TCPNode
 	to int
 
 	mu      sync.Mutex
-	cond    sync.Cond // waits on mu; signalled on enqueue and close
+	cond    sync.Cond // waits on mu; signalled on enqueue, resurrect and close
 	pending []byte
-	conn    net.Conn // writer's dialed connection, tracked so close can bound it
-	err     error
+	conn    net.Conn  // writer's dialed connection, tracked so close/disrupt can reach it
+	health  PeerState // live → degraded → down; resurrect returns it to live
 	closed  bool
 
 	spare []byte // writer-owned: the previously written buffer, recycled
@@ -409,16 +613,19 @@ const (
 	peerCloseGrace  = 2 * time.Second
 )
 
-// enqueue appends one frame for the writer to pick up. It fails fast with
-// the writer's terminal error once the pipeline is broken.
+// enqueue appends one frame for the writer to pick up. Frames to a down
+// peer are counted drops, never errors: the cluster layer already scores a
+// silent peer as per-round omissions, so a dead connection degrades the
+// link instead of erroring the run.
 func (p *peerOut) enqueue(frame []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	switch {
-	case p.err != nil:
-		return p.err
-	case p.closed:
+	if p.closed {
 		return ErrClosed
+	}
+	if p.health == PeerDown {
+		p.nd.peerDownDrops.Add(1)
+		return nil
 	}
 	p.pending = append(p.pending, frame...)
 	p.cond.Signal()
@@ -438,22 +645,19 @@ func (p *peerOut) close() {
 	p.mu.Unlock()
 }
 
-// fail records the pipeline's terminal error and discards pending frames —
-// once a write failed, frame boundaries on the connection are unknown and
-// retrying would desynchronize the stream.
-func (p *peerOut) fail(err error) {
-	p.mu.Lock()
-	p.err = err
-	p.pending = nil
-	p.cond.Broadcast()
-	p.mu.Unlock()
-}
-
 // writeLoop dials the peer lazily and drains the pending buffer, one write
-// per accumulated batch.
+// per accumulated batch. On a write or dial failure it heals instead of
+// dying: the connection is closed, the unwritten frames are retained from
+// the last frame boundary (frames are fixed-size and self-contained, and
+// the receiver's replay filter dedupes retransmits, so resending over a
+// fresh connection is safe), and the peer is redialed under the node's
+// retry policy. An outage that exhausts the policy budget marks the peer
+// down; until resurrection its frames become counted drops.
 func (p *peerOut) writeLoop() {
 	defer p.nd.wg.Done()
 	var conn net.Conn
+	var carry []byte       // unwritten tail of a failed write, resent first
+	var everConnected bool // distinguishes first connects from reconnects
 	defer func() {
 		if conn != nil {
 			_ = conn.Close()
@@ -461,36 +665,176 @@ func (p *peerOut) writeLoop() {
 	}()
 	for {
 		p.mu.Lock()
-		for len(p.pending) == 0 && !p.closed && p.err == nil {
+		for len(p.pending) == 0 && len(carry) == 0 && !p.closed {
 			p.cond.Wait()
 		}
-		if p.err != nil || (p.closed && len(p.pending) == 0) {
+		if p.closed && len(p.pending) == 0 && len(carry) == 0 {
 			p.mu.Unlock()
 			return
+		}
+		if p.health == PeerDown {
+			// Down: everything queued (including a retained tail) is a
+			// counted drop. Park until resurrection or close.
+			if n := (len(p.pending) + len(carry)) / FrameSize; n > 0 {
+				p.nd.peerDownDrops.Add(int64(n))
+			}
+			p.pending = p.pending[:0]
+			carry = carry[:0]
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.mu.Unlock()
+			continue
 		}
 		buf := p.pending
 		p.pending = p.spare[:0]
+		// spare must not be reattached across a failure, or the retained
+		// copy and a fresh pending batch would share a backing array.
+		p.spare = nil
 		p.mu.Unlock()
+
 		if conn == nil {
-			c, err := net.DialTimeout("tcp", p.nd.addrs[p.to], peerDialTimeout)
-			if err != nil {
-				p.fail(fmt.Errorf("transport: dial node %d: %w", p.to, err))
-				return
+			c, ok := p.redial()
+			if !ok {
+				select {
+				case <-p.nd.closed:
+					return
+				default:
+				}
+				p.markDown((len(carry) + len(buf)) / FrameSize)
+				carry = carry[:0]
+				continue
 			}
+			if everConnected {
+				p.nd.reconnects.Add(1)
+			}
+			everConnected = true
 			conn = c
-			p.mu.Lock()
-			p.conn = c
-			if p.closed {
-				_ = c.SetDeadline(time.Now().Add(peerCloseGrace))
-			}
-			p.mu.Unlock()
+			p.adopt(c)
 		}
-		if _, err := conn.Write(buf); err != nil {
-			p.fail(fmt.Errorf("transport: write to node %d: %w", p.to, err))
-			return
+		if len(carry) > 0 {
+			n, err := conn.Write(carry)
+			if err != nil {
+				conn = p.dropConn(conn)
+				carry = retainFrames(carry, n, buf)
+				continue
+			}
+			p.nd.batchWrites.Add(1)
+			carry = carry[:0]
+		}
+		if len(buf) == 0 {
+			p.spare = buf
+			continue
+		}
+		n, err := conn.Write(buf)
+		if err != nil {
+			conn = p.dropConn(conn)
+			carry = retainFrames(buf, n, nil)
+			continue
 		}
 		p.nd.batchWrites.Add(1)
 		p.spare = buf // safe: only the writer touches spare, after the write
+	}
+}
+
+// retainFrames builds the frames still owed to the peer after a failed
+// write: the unwritten part of buf from its last complete frame boundary (a
+// partially written frame is resent whole — the receiver's broken-stream
+// read discards the partial, and the replay filter dedupes a doubled
+// boundary frame), followed by rest.
+func retainFrames(buf []byte, written int, rest []byte) []byte {
+	from := (written / FrameSize) * FrameSize
+	out := make([]byte, 0, len(buf)-from+len(rest))
+	out = append(out, buf[from:]...)
+	return append(out, rest...)
+}
+
+// dropConn closes a failed connection and records the degradation; the
+// writer redials on its next pass.
+func (p *peerOut) dropConn(conn net.Conn) net.Conn {
+	_ = conn.Close()
+	p.mu.Lock()
+	p.conn = nil
+	if p.health == PeerLive {
+		p.health = PeerDegraded
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// adopt publishes the writer's fresh connection so close and disrupt can
+// reach it, and returns a degraded pipeline to live.
+func (p *peerOut) adopt(c net.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	if p.health == PeerDegraded {
+		p.health = PeerLive
+	}
+	if p.closed {
+		_ = c.SetDeadline(time.Now().Add(peerCloseGrace))
+	}
+	p.mu.Unlock()
+}
+
+// redial re-establishes the peer connection under the node's retry policy:
+// the first attempt is immediate, later ones back off exponentially with
+// seeded jitter. It gives up — ok=false — once the outage's cumulative
+// retry time would exceed the policy budget, or when the node is closing.
+func (p *peerOut) redial() (net.Conn, bool) {
+	policy := p.nd.retryPolicy()
+	deadline := time.Now().Add(policy.Budget)
+	backoff := policy.Base
+	for attempt := uint64(0); ; attempt++ {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		c, err := p.nd.dialPeer(p.to)
+		if err == nil {
+			return c, true
+		}
+		p.degrade()
+		wait := policy.jitter(p.nd.id, p.to, attempt, backoff)
+		if time.Now().Add(wait).After(deadline) {
+			return nil, false
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-p.nd.closed:
+			t.Stop()
+			return nil, false
+		}
+		if backoff *= 2; backoff > policy.Max {
+			backoff = policy.Max
+		}
+	}
+}
+
+func (p *peerOut) degrade() {
+	p.mu.Lock()
+	if p.health == PeerLive {
+		p.health = PeerDegraded
+	}
+	p.mu.Unlock()
+}
+
+// markDown records an exhausted outage: the peer enters the down state and
+// its frames still owed become counted drops.
+func (p *peerOut) markDown(frames int) {
+	p.mu.Lock()
+	if p.health != PeerDown {
+		p.health = PeerDown
+		p.conn = nil
+		p.nd.peerDownEvents.Add(1)
+		p.nd.downPeers.Add(1)
+	}
+	p.mu.Unlock()
+	if frames > 0 {
+		p.nd.peerDownDrops.Add(int64(frames))
 	}
 }
 
@@ -519,7 +863,12 @@ type replayFilter struct {
 	window int
 	limit  int // max tracked flows; oldest are evicted beyond it
 	flows  map[replayKey]*RoundWindow
-	order  []replayKey // flow insertion order, drives eviction
+	// order is a ring buffer over the tracked flows in insertion order;
+	// head indexes the oldest once the ring is full. A plain slice
+	// re-sliced on eviction would pin every evicted key's memory for the
+	// filter's lifetime; the ring reuses its limit-bounded backing array.
+	order []replayKey
+	head  int
 }
 
 type replayKey struct {
@@ -549,15 +898,19 @@ func (f *replayFilter) admit(from int, instance uint32, round int, seq uint32) b
 	fl, ok := f.flows[id]
 	if !ok {
 		if len(f.flows) >= f.limit {
-			oldest := f.order[0]
-			f.order = f.order[1:]
-			delete(f.flows, oldest)
+			// Evict the oldest flow and reuse its ring slot for the new
+			// key: the slot at head becomes the newest entry and head
+			// advances to the next-oldest.
+			delete(f.flows, f.order[f.head])
+			f.order[f.head] = id
+			f.head = (f.head + 1) % len(f.order)
+		} else {
+			f.order = append(f.order, id)
 		}
 		// The window spans the newest round plus `window` rounds behind it.
 		w := NewRoundWindow(f.window + 1)
 		fl = &w
 		f.flows[id] = fl
-		f.order = append(f.order, id)
 	}
 	if fl.Recorded(round) {
 		return false

@@ -50,8 +50,9 @@ func TestTCPCloseWithInflightBatch(t *testing.T) {
 }
 
 // TestTCPBatchDialFailure points a node's batch pipeline at a dead address:
-// the writer's dial failure must surface as an error on a subsequent
-// SendBatch instead of wedging the caller.
+// the writer retries under its policy, and once the budget is exhausted the
+// peer degrades to the down state — later batches to it become counted
+// drops (PeerDownDrops), never errors, so a dead peer reads as omissions.
 func TestTCPBatchDialFailure(t *testing.T) {
 	self, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -72,24 +73,35 @@ func TestTCPBatchDialFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = nd.Close() }()
+	// A tiny budget so the outage exhausts within the test deadline.
+	nd.SetRetryPolicy(RetryPolicy{Base: time.Millisecond, Max: 4 * time.Millisecond, Budget: 50 * time.Millisecond})
 
-	// The first SendBatch only enqueues; the writer fails asynchronously.
-	// Keep batching until the pipeline reports its terminal dial error.
+	// Batches to the dead peer must keep succeeding — first retained by the
+	// redialing writer, then absorbed as counted drops once it goes down.
 	deadline := time.Now().Add(10 * time.Second)
-	for {
+	for r := 0; ; r++ {
 		err := withinDeadline(t, 5*time.Second, "SendBatch to dead peer", func() error {
-			return nd.SendBatch([]Message{{Round: 0, To: 1}})
+			return nd.SendBatch([]Message{{Round: r, To: 1}})
 		})
 		if err != nil {
-			if !strings.Contains(err.Error(), "dial node 1") {
-				t.Fatalf("batch error %v does not name the dial failure", err)
-			}
+			t.Fatalf("SendBatch to dead peer errored (%v); want graceful degradation", err)
+		}
+		if nd.PeerDownDrops() > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("writer dial failure never surfaced on SendBatch")
+			t.Fatal("retry budget exhaustion never degraded the peer to counted drops")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if got := nd.PeerState(1); got != PeerDown {
+		t.Fatalf("PeerState(1) = %v, want down", got)
+	}
+	if got := nd.PeerDownEvents(); got != 1 {
+		t.Fatalf("PeerDownEvents = %d, want 1", got)
+	}
+	if got := nd.DialRetries(); got == 0 {
+		t.Fatal("DialRetries = 0; the outage never counted its failed dials")
 	}
 
 	// Synchronous Send dials inline and fails immediately.

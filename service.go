@@ -63,6 +63,9 @@ type ServiceSpec struct {
 	// gets its own injector with the seed derived from this seed and the
 	// instance id, so a service run is replayable instance by instance.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// Retry overrides the TCP transport's reconnect policy (see
+	// ClusterSpec.Retry). Ignored by the memory transport.
+	Retry *RetryPolicy `json:"retry,omitempty"`
 	// RunHorizon overrides the per-instance watchdog deadline. Zero derives
 	// it from the instance's round count and RoundTimeout.
 	RunHorizon time.Duration `json:"run_horizon,omitempty"`
@@ -103,6 +106,7 @@ func (s ServiceSpec) clusterSpec() ClusterSpec {
 		Transport:     s.Transport,
 		AllowSubBound: s.AllowSubBound,
 		Chaos:         s.Chaos,
+		Retry:         s.Retry,
 		RunHorizon:    s.RunHorizon,
 		Key:           s.Key,
 		Algorithm:     s.Algorithm,
@@ -281,6 +285,11 @@ func (e *Engine) Serve(ctx context.Context, spec ServiceSpec) (*Service, error) 
 			// flight per flow; widen the per-flow replay filters to match.
 			for _, nd := range nodes {
 				nd.SetReplayWindow(spec.PipelineDepth + 4)
+			}
+		}
+		if spec.Retry != nil {
+			for _, nd := range nodes {
+				nd.SetRetryPolicy(*spec.Retry)
 			}
 		}
 		tcpNodes = nodes
@@ -543,7 +552,10 @@ func (s *Service) execute(id uint32, inputs []float64) (*ClusterResult, []FaultE
 	if s.spec.Chaos != nil {
 		// Each instance gets its own injector, seeded from the template seed
 		// and the instance id: the fault trace of instance k replays
-		// bit-for-bit regardless of what else the service hosts.
+		// bit-for-bit regardless of what else the service hosts. Connection
+		// faults (ResetRate) are recorded in the trace but not enacted here:
+		// the per-instance route links do not own connections, and resetting
+		// the shared mesh would leak one instance's chaos into every other.
 		cspec := *s.spec.Chaos
 		cspec.Seed = DeriveSeed(cspec.Seed, int(id))
 		chaos, err = transport.NewChaos(nil, s.n, cspec)

@@ -543,6 +543,7 @@ func TestServeValidation(t *testing.T) {
 		{"schedule", func(s *mbfaa.ServiceSpec) { s.ScheduleName = "nope" }},
 		{"median-unbounded", func(s *mbfaa.ServiceSpec) { s.AlgorithmName = "median"; s.FixedRounds = 0 }},
 		{"negative-concurrency", func(s *mbfaa.ServiceSpec) { s.MaxConcurrent = -1 }},
+		{"bad-retry", func(s *mbfaa.ServiceSpec) { s.Retry = &mbfaa.RetryPolicy{Base: -time.Millisecond} }},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
